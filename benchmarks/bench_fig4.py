@@ -1,0 +1,28 @@
+"""Bench: Fig. 4 — operator cost composition."""
+
+from repro.experiments import run_experiment
+
+
+def _shares(result, kernel):
+    row = result.row_by("Kernel", kernel)
+    return tuple(float(c.rstrip("%")) for c in row[1:])
+
+
+def test_fig4(once):
+    result = once(run_experiment, "fig4", quick=True)
+    for op in ("conv", "linear"):
+        cvt32, cpt32, bp32 = _shares(result, f"{op}32")
+        cvt16, cpt16, bp16 = _shares(result, f"{op}16")
+        cvt8, cpt8, bp8 = _shares(result, f"{op}8")
+        # FP32 is pure compute.
+        assert cvt32 == 0.0 and bp32 == 0.0 and cpt32 == 100.0
+        # Casting share grows as precision drops.
+        assert cvt8 > cvt16 > 0.0
+        # INT8 adds backward casting; FP16's bp share is (near) zero.
+        assert bp8 > bp16
+        # Compute share shrinks monotonically.
+        assert cpt8 < cpt16 < cpt32
+    # The linear (low arithmetic intensity) pays a larger cvt share than the
+    # conv at the same precision, as in the paper's figure.
+    assert _shares(result, "linear16")[0] > _shares(result, "conv16")[0]
+    assert _shares(result, "linear8")[0] > _shares(result, "conv8")[0]

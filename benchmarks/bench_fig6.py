@@ -1,0 +1,21 @@
+"""Bench: Fig. 6 — training timeline, UP vs QSync."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig6(once):
+    result = once(run_experiment, "fig6", quick=True)
+    up = result.row_by("Method", "UP")
+    qs = result.row_by("Method", "QSync")
+    up_iter, up_wait = float(up[1]), float(up[3])
+    qs_iter, qs_wait = float(qs[1]), float(qs[3])
+
+    # QSync reclaims waiting time without losing iteration latency
+    # (within the allocator's throughput slack).
+    assert qs_wait < up_wait
+    assert qs_iter <= up_iter * 1.01
+
+    # The waterfall rendering exists and shows both devices' streams.
+    waterfall = result.extras["waterfall"]
+    assert "V100" in waterfall and "T4" in waterfall
+    assert "Uniform precision" in waterfall and "QSync" in waterfall

@@ -1,0 +1,25 @@
+"""Bench: Fig. 7 — backend optimization effects."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7(once):
+    result = once(run_experiment, "fig7", quick=True)
+    a_rows = [r for r in result.rows if r[0] == "fig7a"]
+    b_rows = [r for r in result.rows if r[0] == "fig7b"]
+
+    # (a) optimized quantization pipeline is faster at every batch multiple.
+    assert len(a_rows) == 5
+    for row in a_rows:
+        vanilla = float(row[2].rstrip("us"))
+        optimized = float(row[3].rstrip("us"))
+        assert optimized < vanilla
+
+    # (b) BARE INT8 carries extra overhead vs FP16; optimization shrinks it
+    # on both T4 and A10.
+    assert {r[1] for r in b_rows} == {"T4", "A10"}
+    for row in b_rows:
+        bare = float(row[2].split("%")[0].lstrip("+"))
+        opt = float(row[3].split("%")[0].lstrip("+"))
+        assert bare > 0.0
+        assert opt < bare

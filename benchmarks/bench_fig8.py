@@ -1,0 +1,20 @@
+"""Bench: Fig. 8 — indicator rank stability over early training."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig8(once):
+    result = once(run_experiment, "fig8", quick=True)
+    for row in result.rows:
+        consecutive = float(row[3])
+        first_last = float(row[4])
+        # "Relative importance and ranking remained remarkably consistent":
+        # strong positive rank correlations.
+        assert consecutive > 0.5
+        assert first_last > 0.5
+    # The traces exist for both models and cover all iterations.
+    for key in ("BERT_trace", "ResNet50_trace"):
+        trace = result.extras[key]
+        assert len(trace) >= 10
+        n_ops = len(trace[0])
+        assert all(len(t) == n_ops for t in trace)

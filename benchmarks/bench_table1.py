@@ -1,0 +1,22 @@
+"""Bench: Table I — device capability."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1(once):
+    result = once(run_experiment, "table1", quick=True)
+    rows = {r[0]: r for r in result.rows}
+    # V100 has no INT8 path; T4 does (Table I's "/" cell).
+    assert rows["V100"][5] == "/"
+    assert rows["T4"][5] != "/"
+    # Sustained < peak for every supported precision.
+    for name in ("T4", "V100", "A10", "A100"):
+        row = rows[name]
+        for peak_i, sust_i in ((1, 2), (3, 4), (5, 6)):
+            if row[peak_i] == "/":
+                continue
+            assert float(row[sust_i]) < float(row[peak_i])
+    # FP16 sustained beats FP32 sustained on every device (tensor cores).
+    for name in ("T4", "V100", "A10", "A100"):
+        row = rows[name]
+        assert float(row[4]) > float(row[2])

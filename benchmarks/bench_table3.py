@@ -1,0 +1,30 @@
+"""Bench: Table III — replay accuracy.
+
+Shape asserted: QSync's prediction error < 5 % on every configuration;
+Dpro's error exceeds QSync's on the cast-heavy configs, worst on
+INT-Linears.
+"""
+
+from repro.experiments import run_experiment
+
+
+def _errors(result, method):
+    out = {}
+    for row in result.rows:
+        if row[1] == method:
+            out[row[0]] = float(row[3].rstrip("%"))
+    return out
+
+
+def test_table3(once):
+    result = once(run_experiment, "table3", quick=True)
+    qsync = _errors(result, "QSync")
+    dpro = _errors(result, "w/o cost mapper (Dpro)")
+
+    # Headline claim: < 5% error for QSync on every config.
+    assert all(err < 5.0 for err in qsync.values()), qsync
+
+    # Dpro degrades where casting matters; INT-Linears is its worst case.
+    assert dpro["INT-Linears"] > qsync["INT-Linears"]
+    assert dpro["Half-Linears"] > qsync["Half-Linears"]
+    assert dpro["INT-Linears"] == max(dpro.values())

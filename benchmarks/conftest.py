@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure in quick mode (see
+``repro.experiments``) inside a single pytest-benchmark round — these are
+end-to-end experiment timings, not micro-benchmarks — and then asserts the
+paper's qualitative *shape* on the produced rows.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return its
+    result (training-scale experiments cannot be repeated dozens of times)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

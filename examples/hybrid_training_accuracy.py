@@ -1,0 +1,61 @@
+"""Hybrid mixed-precision training: accuracy of UP vs QSync plans.
+
+Trains the executable MiniVGG-BN under three precision policies on a
+simulated 2xV100 + 2xT4 cluster and reports final test accuracy:
+
+* ORACLE — every worker FP32;
+* UP     — inference workers uniformly INT8 (the memory-pressure policy);
+* QSync  — inference workers carry the indicator-recovered plan.
+
+This is the laptop-scale version of Table V's accuracy column: real
+stochastic-rounding arithmetic runs on the T4 replicas, so the differences
+you see are genuine quantization-noise effects, not simulation artifacts.
+
+Run:  python examples/hybrid_training_accuracy.py
+"""
+
+from repro.common import Precision
+from repro.core.allocator import AllocatorConfig
+from repro.experiments.protocol import find_pressure_batch, prepare_methods
+from repro.experiments.table456 import CLUSTER_B_RATIO
+from repro.hardware import T4, make_cluster_b
+from repro.experiments.protocol import run_method_training
+from repro.train.data import make_image_classification
+
+
+def main() -> None:
+    model_name = "mini_vggbn"
+    cluster = make_cluster_b(2, 2, memory_ratio=CLUSTER_B_RATIO)
+    print(f"Cluster: {cluster.describe()} (T4 memory capped)")
+
+    batch = find_pressure_batch(model_name, T4.memory_bytes)
+    print(f"Production-scale graph batch: {batch}")
+    methods = prepare_methods(
+        model_name, cluster, batch, exec_batch_per_worker=16,
+        allocator_config=AllocatorConfig(max_recovery_steps=300),
+    )
+
+    t4_rank = cluster.inference_workers[0].rank
+    up_int8 = sum(
+        1 for p in methods["UP"].plans[t4_rank].values() if p is Precision.INT8
+    )
+    qs_int8 = sum(
+        1 for p in methods["QSync"].plans[t4_rank].values() if p is Precision.INT8
+    )
+    print(f"UP plan: {up_int8} INT8 ops; QSync plan: {qs_int8} INT8 ops "
+          f"(recovered {up_int8 - qs_int8})")
+
+    dataset = make_image_classification(n_train=2048, n_test=512, seed=3)
+    print("\nTraining (4 replicas x batch 16, 5 epochs):")
+    for name in ("ORACLE", "UP", "QSync"):
+        acc = run_method_training(
+            model_name, methods[name], cluster, dataset,
+            epochs=5, seed=0, optimizer="sgd", lr=0.05,
+        )
+        tp = methods[name].throughput
+        tp_txt = f"{tp:.3f} it/s" if tp else "—"
+        print(f"  {name:<8s} accuracy={acc * 100:.2f}%  predicted throughput={tp_txt}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: plan hybrid mixed-precision training for VGG16 on ClusterA.
+
+Runs the full QSync workflow (profile -> indicator -> replay -> allocate)
+for the paper's VGG16/ImageNet configuration on a V100+T4 hybrid cluster
+and prints the resulting precision plan and predicted training timeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import qsync_plan
+from repro.hardware import make_cluster_a
+from repro.models import vgg16_graph
+
+
+def main() -> None:
+    # The paper's training configuration: local batch 128, ImageNet shapes.
+    # (Smaller batch here keeps the example snappy; bump to 128 for the
+    # full-scale numbers.)
+    graph_builder = lambda: vgg16_graph(batch_size=32)
+
+    # 1 training server slice (V100) + 1 inference GPU (T4).  Use
+    # make_cluster_a(16, 16) for the paper's full testbed.
+    cluster = make_cluster_a(n_training=1, n_inference=1)
+
+    print(f"Planning on {cluster.describe()} ...")
+    plan, report = qsync_plan(graph_builder, cluster, loss="ce")
+
+    print()
+    print(report.summary())
+    print()
+    print("Precision plan for the T4 workers:")
+    print(f"  {plan.summary()}")
+    print()
+    quantized = plan.quantized_ops("T4")
+    print(f"{len(quantized)} operators kept below FP32:")
+    for op in quantized[:10]:
+        print(f"  {op}: {plan.for_device('T4')[op].value}")
+    if len(quantized) > 10:
+        print(f"  ... and {len(quantized) - 10} more")
+
+
+if __name__ == "__main__":
+    main()

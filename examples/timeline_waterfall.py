@@ -1,0 +1,21 @@
+"""Fig. 6 live: render the CUDA/COMM waterfall of UP vs QSync.
+
+Shows how uniform low precision leaves the inference GPU idling before each
+collective (the V100 still computes at FP32), and how QSync's recovered plan
+converts that waiting time into higher-precision compute.
+
+Run:  python examples/timeline_waterfall.py
+"""
+
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    result = run_experiment("fig6", quick=True)
+    print(result.formatted())
+    print()
+    print(result.extras["waterfall"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so legacy ``setup.py develop`` works in offline environments
+lacking the ``wheel`` package (PEP 660 editable installs need it)."""
+
+from setuptools import setup
+
+setup()

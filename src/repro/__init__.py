@@ -1,0 +1,53 @@
+"""repro — a from-scratch reproduction of QSync (IPDPS 2024).
+
+QSync enables synchronous data-parallel DNN training across *hybrid* devices
+(training GPUs + inference GPUs) by selecting a quantization-minimized
+precision per operator on the inference GPUs: quantize just enough to fit the
+memory/throughput envelope, recover everything else to higher precision to
+protect final accuracy.
+
+Package map (bottom-up):
+
+=====================  =====================================================
+``repro.common``       precision dtypes, units, RNG discipline
+``repro.quant``        stochastic-rounding fixed/float quantizers + theory
+``repro.tensor``       numpy tape autodiff with precision-aware modules
+``repro.graph``        operator taxonomy and the Precision DAG
+``repro.hardware``     device specs (V100/T4/A10/A100) and cluster presets
+``repro.profiling``    roofline cost model, casting-cost models, memory
+``repro.backend``      "LP-PyTorch": kernel templates, autotuner, MinMax,
+                       dequantization fusion, security wrapper
+``repro.core``         the paper's contribution — Predictor (Indicator +
+                       Replayer/Cost-Mapper/Simulator) and Allocator
+``repro.parallel``     synchronous hybrid mixed-precision data parallelism
+``repro.train``        optimizers, schedulers, synthetic datasets, loops
+``repro.baselines``    UP, DBS, Hessian/Random indicators, Dpro replayer
+``repro.experiments``  one harness per paper table/figure
+=====================  =====================================================
+
+Quickstart::
+
+    from repro import qsync_plan
+    from repro.hardware import make_cluster_a
+    from repro.models import vgg16_graph
+
+    plan, report = qsync_plan(vgg16_graph(batch_size=128), make_cluster_a())
+    print(report.summary())
+"""
+
+from repro.common import Precision
+
+__version__ = "1.0.0"
+
+__all__ = ["Precision", "qsync_plan", "__version__"]
+
+
+def qsync_plan(*args, **kwargs):
+    """Late-bound convenience wrapper around :func:`repro.core.qsync.qsync_plan`.
+
+    Imported lazily so ``import repro`` stays cheap for users who only need
+    the substrate layers.
+    """
+    from repro.core.qsync import qsync_plan as _impl
+
+    return _impl(*args, **kwargs)

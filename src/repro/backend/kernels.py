@@ -1,0 +1,199 @@
+"""Kernel templates and their analytical efficiency model.
+
+LP-PyTorch "templates each kernel as a combination of hardware-specific
+configuration and kernel abstractions ... such as ThreadblockShape, WarpShape
+and InstructionShape" (Sec. VI).  A :class:`KernelTemplate` is one such
+configuration; :func:`kernel_efficiency` maps (template, problem, precision,
+arch) to the fraction of the device's peak FLOPs the kernel realizes.
+
+The efficiency model captures the effects that make tuning worthwhile:
+
+* **tile quantization** — threadblock tiles that don't divide the problem
+  waste compute on ragged edges;
+* **occupancy** — too-large tiles limit resident blocks, too-small tiles
+  underutilize tensor cores;
+* **instruction match** — tensor-core instructions need matching precision
+  and an arch that has them (sm70 has FP16 HMMA; INT8 IMMA needs sm75+);
+  otherwise the kernel falls back to SIMT rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.common.dtypes import Precision
+from repro.common.errors import KernelConfigError
+from repro.graph.ops import OpKind
+
+#: Architectures with tensor cores per precision.
+TENSOR_CORE_SUPPORT: dict[str, frozenset[Precision]] = {
+    "sm70": frozenset({Precision.FP16}),
+    "sm75": frozenset({Precision.FP16, Precision.INT8}),
+    "sm80": frozenset({Precision.FP16, Precision.INT8}),
+    "simt": frozenset(),
+}
+
+#: Realizable fraction of datasheet peak for a well-tuned GEMM-like kernel.
+#: INT8 *training* kernels realize far less of their inference-oriented peak
+#: (NHWC-only layouts, per-channel scale epilogues, INT32 accumulation) —
+#: the reason the paper observes "full INT8 training is typically slower
+#: than FP16" before its backend optimizations.
+_BASE_EFFICIENCY: dict[Precision, float] = {
+    Precision.FP32: 0.62,
+    Precision.FP16: 0.48,
+    Precision.INT8: 0.25,
+}
+
+#: SIMT fallback rates relative to FP32 peak (dp4a-style INT8 ~ 1x FP32).
+_SIMT_RELATIVE: dict[Precision, float] = {
+    Precision.FP32: 0.62,
+    Precision.FP16: 0.60,  # half2 packed math, barely beats FP32 on SIMT
+    Precision.INT8: 0.55,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTemplate:
+    """One instantiable kernel configuration.
+
+    Shapes are (M, N, K) tiles in the CUTLASS convention.
+    """
+
+    threadblock: tuple[int, int, int]
+    warp: tuple[int, int, int]
+    instruction: tuple[int, int, int]
+    stages: int = 2
+    use_tensor_cores: bool = True
+
+    def __post_init__(self) -> None:
+        for tb, wp in zip(self.threadblock, self.warp):
+            if tb % wp:
+                raise KernelConfigError(
+                    f"warp tile {self.warp} does not divide threadblock "
+                    f"{self.threadblock}"
+                )
+        if self.use_tensor_cores:
+            for wp, ins in zip(self.warp, self.instruction):
+                if wp % ins:
+                    raise KernelConfigError(
+                        f"instruction {self.instruction} does not divide warp "
+                        f"{self.warp}"
+                    )
+        if self.stages < 2 or self.stages > 6:
+            raise KernelConfigError(f"pipeline stages {self.stages} out of range")
+
+    @property
+    def label(self) -> str:
+        tb = "x".join(map(str, self.threadblock))
+        return f"tb{tb}_s{self.stages}{'_tc' if self.use_tensor_cores else '_simt'}"
+
+
+#: Candidate templates per architecture (a realistic, small CUTLASS subset).
+_TC_INSTR = {
+    "sm70": (8, 8, 4),   # Volta HMMA
+    "sm75": (16, 8, 8),  # Turing HMMA/IMMA
+    "sm80": (16, 8, 16),  # Ampere
+}
+
+
+def _make_candidates(arch: str) -> list[KernelTemplate]:
+    simt = KernelTemplate(
+        threadblock=(128, 128, 8), warp=(32, 64, 8), instruction=(1, 1, 1),
+        stages=2, use_tensor_cores=False,
+    )
+    if arch not in _TC_INSTR:
+        return [simt]
+    instr = _TC_INSTR[arch]
+    tc: list[KernelTemplate] = []
+    for tb, wp, stages in [
+        ((64, 64, 32), (32, 32, 32), 2),
+        ((128, 64, 32), (64, 32, 32), 2),
+        ((128, 128, 32), (64, 64, 32), 3),
+        ((256, 128, 32), (64, 64, 32), 3),
+        ((128, 256, 64), (64, 64, 64), 4),
+    ]:
+        # Warp tiles must be instruction-divisible; these presets are.
+        if all(w % i == 0 for w, i in zip(wp, instr)):
+            tc.append(
+                KernelTemplate(threadblock=tb, warp=wp, instruction=instr, stages=stages)
+            )
+    return tc + [simt]
+
+
+class KernelRegistry:
+    """Per-architecture template catalog."""
+
+    _cache: dict[str, list[KernelTemplate]] = {}
+
+    @classmethod
+    def candidates(
+        cls, arch: str, kind: OpKind, precision: Precision
+    ) -> list[KernelTemplate]:
+        """Templates eligible for (arch, op kind, precision).
+
+        Non-GEMM ops only have the SIMT elementwise path; GEMM-like ops get
+        tensor-core templates when the arch supports the precision.
+        """
+        if arch not in cls._cache:
+            cls._cache[arch] = _make_candidates(arch)
+        all_cands = cls._cache[arch]
+        if kind not in (OpKind.CONV2D, OpKind.LINEAR, OpKind.MATMUL):
+            return [c for c in all_cands if not c.use_tensor_cores]
+        if precision in TENSOR_CORE_SUPPORT.get(arch, frozenset()):
+            return all_cands
+        return [c for c in all_cands if not c.use_tensor_cores]
+
+
+def _tile_utilization(problem: tuple[int, int, int], tile: tuple[int, int, int]) -> float:
+    """Fraction of tile compute doing useful work (quantization waste)."""
+    util = 1.0
+    for p, t in zip(problem, tile):
+        padded = math.ceil(p / t) * t
+        util *= p / padded
+    return util
+
+
+def _occupancy_factor(template: KernelTemplate, problem: tuple[int, int, int]) -> float:
+    """Penalty for launching too few threadblocks to fill the device."""
+    m, n, _ = problem
+    tb_m, tb_n, _ = template.threadblock
+    blocks = math.ceil(m / tb_m) * math.ceil(n / tb_n)
+    # ~80 SMs want >= ~2 blocks each; saturate smoothly below that.
+    target = 160.0
+    return min(1.0, 0.25 + 0.75 * blocks / target)
+
+
+def kernel_efficiency(
+    arch: str,
+    kind: OpKind,
+    precision: Precision,
+    template: KernelTemplate,
+    problem: tuple[int, int, int],
+) -> float:
+    """Realized fraction of the *precision's datasheet peak*.
+
+    SIMT fallbacks are expressed relative to the precision's own peak so the
+    caller can always multiply by ``device.flops_at(precision)``: e.g. FP16
+    SIMT on sm70 realizes ``0.60 * fp32_peak / fp16_peak`` of the FP16 peak.
+    """
+    if template.use_tensor_cores:
+        if precision not in TENSOR_CORE_SUPPORT.get(arch, frozenset()):
+            raise KernelConfigError(
+                f"{arch} has no tensor-core path for {precision.value}"
+            )
+        base = _BASE_EFFICIENCY[precision]
+        stage_bonus = 1.0 + 0.03 * (template.stages - 2)
+        eff = base * stage_bonus
+    else:
+        # SIMT: compute runs at ~FP32 rates regardless of nominal precision;
+        # express as a fraction of this precision's peak.
+        rel = _SIMT_RELATIVE[precision]
+        eff = rel  # scaled vs own peak by the caller through peak ratios
+        if precision is not Precision.FP32:
+            # Approximate: SIMT low-precision achieves ~FP32-peak-level
+            # throughput, which is a small fraction of the tensor-core peak.
+            eff = rel * 0.15
+    eff *= _tile_utilization(problem, template.threadblock)
+    eff *= _occupancy_factor(template, problem)
+    return float(min(eff, 0.95))

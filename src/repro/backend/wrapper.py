@@ -1,0 +1,81 @@
+"""Front-end security wrapper (Sec. VI).
+
+"Tensorized kernels can have strict requirements for memory access patterns
+and input data precisions, e.g. TensorCore has restrictions on input tensor
+dimensions.  We wrap kernel calls with security checks and handling."
+
+The wrapper validates a problem against tensor-core alignment rules and
+either accepts it, pads it (with the padding waste reported), or falls back
+to the SIMT kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.common.dtypes import Precision
+from repro.graph.ops import OpKind
+from repro.backend.kernels import TENSOR_CORE_SUPPORT
+
+#: Minimum dimension alignment for tensor-core MMA operands.
+_ALIGNMENT: dict[Precision, int] = {
+    Precision.FP16: 8,
+    Precision.INT8: 16,
+}
+
+
+def check_tensor_core_compat(
+    problem: tuple[int, int, int], precision: Precision, arch: str
+) -> bool:
+    """True iff (M, N, K) meets the arch's tensor-core alignment rules."""
+    if precision not in TENSOR_CORE_SUPPORT.get(arch, frozenset()):
+        return False
+    align = _ALIGNMENT.get(precision)
+    if align is None:
+        return False
+    # K and N must be aligned (operand leading dimensions); M may be ragged.
+    _, n, k = problem
+    return n % align == 0 and k % align == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class WrappedCall:
+    """Decision record for one kernel invocation."""
+
+    use_tensor_cores: bool
+    padded_problem: tuple[int, int, int]
+    padding_waste: float  # fraction of extra FLOPs introduced by padding
+
+
+class SecurityWrapper:
+    """Validates and adapts kernel calls before dispatch.
+
+    Policy (mirrors LP-PyTorch's wrap function): aligned problems dispatch
+    straight to tensor cores; misaligned ones are padded when the waste is
+    small, otherwise dropped to SIMT.
+    """
+
+    def __init__(self, arch: str, max_padding_waste: float = 0.125) -> None:
+        self.arch = arch
+        self.max_padding_waste = max_padding_waste
+
+    def wrap(
+        self, kind: OpKind, precision: Precision,
+        problem: tuple[int, int, int],
+    ) -> WrappedCall:
+        if kind not in (OpKind.CONV2D, OpKind.LINEAR, OpKind.MATMUL):
+            return WrappedCall(False, problem, 0.0)
+        if precision not in TENSOR_CORE_SUPPORT.get(self.arch, frozenset()):
+            return WrappedCall(False, problem, 0.0)
+        if check_tensor_core_compat(problem, precision, self.arch):
+            return WrappedCall(True, problem, 0.0)
+
+        align = _ALIGNMENT[precision]
+        m, n, k = problem
+        padded = (m, math.ceil(n / align) * align, math.ceil(k / align) * align)
+        orig = float(m) * n * k
+        waste = (float(padded[0]) * padded[1] * padded[2] - orig) / orig
+        if waste <= self.max_padding_waste:
+            return WrappedCall(True, padded, waste)
+        return WrappedCall(False, problem, 0.0)

@@ -1,0 +1,87 @@
+"""Dynamic Batch Sizing (DBS) [4].
+
+Keeps the global batch constant while giving fast/large devices bigger
+local batches and slow/small devices smaller ones, so all workers finish
+their step at roughly the same time.  Two pieces:
+
+* :func:`dbs_batch_sizes` — the proportional-to-speed allocation under
+  per-device memory caps;
+* :func:`dbs_learning_rate` — the linear-scaling LR adaptation the paper
+  says existing DBS work prescribes (lr scales with the batch size [6]) —
+  here applied per the *global* batch, which DBS keeps fixed, so the base
+  LR is returned unchanged; the harm comes from BatchNorm statistics, which
+  the executable models reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dbs_batch_sizes(
+    global_batch: int,
+    per_sample_times: list[float],
+    memory_caps: list[int] | None = None,
+    per_sample_bytes: float | None = None,
+    min_batch: int = 1,
+) -> list[int]:
+    """Split ``global_batch`` across workers proportional to speed.
+
+    Parameters
+    ----------
+    global_batch:
+        Total samples per synchronous step (kept identical to the uniform
+        configuration — the method's defining constraint).
+    per_sample_times:
+        Seconds per sample per worker at the precision DBS runs (FP32).
+    memory_caps, per_sample_bytes:
+        Optional per-worker activation-memory caps: worker ``i`` may hold at
+        most ``memory_caps[i] / per_sample_bytes`` samples; overflow is
+        redistributed to the remaining workers.
+    """
+    times = np.asarray(per_sample_times, dtype=np.float64)
+    if np.any(times <= 0) or not np.all(np.isfinite(times)):
+        raise ValueError("per-sample times must be positive and finite")
+    speeds = 1.0 / times
+    k = len(speeds)
+    raw = speeds / speeds.sum() * global_batch
+    batches = np.maximum(np.floor(raw).astype(int), min_batch)
+
+    if memory_caps is not None and per_sample_bytes:
+        caps = np.asarray(memory_caps, dtype=np.float64) // per_sample_bytes
+        caps = np.maximum(caps.astype(int), min_batch)
+        for _ in range(k):
+            over = batches > caps
+            if not np.any(over):
+                break
+            excess = int(np.sum(batches[over] - caps[over]))
+            batches[over] = caps[over]
+            free = ~over
+            if not np.any(free):
+                raise ValueError("memory caps cannot hold the global batch")
+            share = speeds[free] / speeds[free].sum()
+            batches[free] = batches[free] + np.floor(share * excess).astype(int)
+
+    # Fix rounding drift: add/remove from the fastest unconstrained workers.
+    diff = global_batch - int(batches.sum())
+    order = np.argsort(-speeds)
+    i = 0
+    while diff != 0:
+        idx = order[i % k]
+        step = 1 if diff > 0 else -1
+        if batches[idx] + step >= min_batch:
+            batches[idx] += step
+            diff -= step
+        i += 1
+    return [int(b) for b in batches]
+
+
+def dbs_learning_rate(base_lr: float, base_global_batch: int, new_global_batch: int) -> float:
+    """Linear LR scaling with the global batch [6].
+
+    DBS keeps the global batch fixed, so in the paper's experiments this
+    returns ``base_lr`` — documented here because the *reason* DBS still
+    degrades from-scratch BN models is precisely that LR adaptation cannot
+    compensate for changed per-worker batch statistics.
+    """
+    return base_lr * new_global_batch / base_global_batch

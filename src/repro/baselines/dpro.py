@@ -1,0 +1,93 @@
+"""Dpro-style latency replay [35] — the Table III prediction baseline.
+
+Dpro diagnoses distributed training from per-op traces; applied to mixed
+precision, its prediction "does not consider the casting costs and operator
+dependency" (Sec. VII-A2).  Concretely, this replayer:
+
+* charges each operator its *pure* execution cost at its assigned precision
+  (adjustable ops) or at FP32 (everything else — no cascade modelling);
+* inserts **no** cast nodes anywhere;
+* keeps the same communication model (Dpro does model collectives well).
+
+The gap to ground truth is therefore exactly the casting + cascade share of
+the iteration, which is what Table III isolates.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import Precision
+from repro.core.dfg import DFGNode, GlobalDFG, LocalDFG, NodeKind, assign_buckets
+from repro.core.replayer import SimulationResult, simulate_global_dfg
+from repro.graph.dag import PrecisionDAG
+from repro.hardware.cluster import Cluster
+from repro.profiling.profiler import OperatorCostCatalog
+
+
+class DproReplayer:
+    """Casting-blind, cascade-blind latency prediction."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dags: dict[int, PrecisionDAG],
+        catalogs: dict[int, OperatorCostCatalog],
+    ) -> None:
+        self.cluster = cluster
+        self.dags = dags
+        self.catalogs = catalogs
+
+    def _build_local(self, rank: int) -> LocalDFG:
+        worker = self.cluster.workers[rank]
+        dag = self.dags[rank]
+        catalog = self.catalogs[rank]
+        dfg = LocalDFG(worker.device.name, rank)
+        topo = dag.topo_order()
+
+        def pure(op: str, prec: Precision):
+            if catalog.has(op, prec):
+                return catalog.get(op, prec)
+            return catalog.get(op, Precision.FP32)
+
+        for name in topo:
+            spec = dag.spec(name)
+            # No cascade: only the op's own assignment matters.
+            prec = dag.precision(name) if spec.is_adjustable else Precision.FP32
+            cost = pure(name, prec)
+            if cost.forward > 0:
+                dfg.add_forward(DFGNode(name, NodeKind.FORWARD, cost.forward, op=name))
+
+        weighted_rev = []
+        for name in reversed(topo):
+            spec = dag.spec(name)
+            prec = dag.precision(name) if spec.is_adjustable else Precision.FP32
+            cost = pure(name, prec)
+            if cost.backward > 0:
+                dfg.add_backward(
+                    DFGNode(f"bwd:{name}", NodeKind.BACKWARD, cost.backward, op=name)
+                )
+            if spec.has_weight:
+                weighted_rev.append((name, spec.weight_elems * 4))
+
+        buckets = assign_buckets(weighted_rev)
+        op_to_idx = {
+            n.op: i for i, n in enumerate(dfg.backward) if n.kind is NodeKind.BACKWARD
+        }
+        ready = {
+            b.index: max(
+                (op_to_idx.get(op, len(dfg.backward) - 1) for op in b.ops),
+                default=len(dfg.backward) - 1,
+            )
+            for b in buckets
+        }
+        dfg.set_buckets(buckets, ready)
+
+        elems = dag.total_weight_elems()
+        dfg.set_optimizer(
+            5.0 * elems * 4 / worker.device.effective_bandwidth
+            + worker.device.kernel_launch_overhead
+        )
+        return dfg
+
+    def simulate(self) -> SimulationResult:
+        gdfg = GlobalDFG([self._build_local(w.rank) for w in self.cluster.workers])
+        return simulate_global_dfg(gdfg, self.cluster)

@@ -1,0 +1,29 @@
+"""Random sensitivity baseline (Sec. VII-A1).
+
+"The largest indicator is randomly generated for the lowest precision of
+each operator and is halved as precision increases."
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import PRECISION_ORDER, Precision
+from repro.common.rng import derive_seed, new_rng
+
+
+class RandomIndicator:
+    """Uniform-random per-op sensitivities, halved per precision step."""
+
+    def __init__(self, ops: list[str], seed: int = 0) -> None:
+        self._base: dict[str, float] = {}
+        for op in ops:
+            rng = new_rng(derive_seed(seed, "random-ind", op))
+            self._base[op] = float(rng.random())
+
+    def omega(self, op: str, precision: Precision) -> float:
+        if precision is Precision.FP32:
+            return 0.0
+        if op not in self._base:
+            raise KeyError(f"no random indicator for {op!r}")
+        # Lowest precision gets the full draw; each step up halves it.
+        steps_up = PRECISION_ORDER.index(precision)
+        return self._base[op] / (2.0**steps_up)

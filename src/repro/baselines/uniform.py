@@ -1,0 +1,46 @@
+"""Uniform Precision (UP).
+
+"Use a uniform precision for all operators in inference GPU, continue
+lowering precision until the memory requirement is met" (Sec. VII,
+Baselines).  Ops whose kernels lack the target precision keep their lowest
+supported one at-or-above the target (softmax stays FP32).
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import Precision
+from repro.common.errors import InfeasiblePlanError
+from repro.graph.dag import PrecisionDAG
+from repro.hardware.device import DeviceSpec
+from repro.profiling.memory import MemoryModel
+
+
+def uniform_precision_plan(
+    dag: PrecisionDAG,
+    device: DeviceSpec,
+    memory_model: MemoryModel | None = None,
+) -> dict[str, Precision]:
+    """The UP plan for one inference device.
+
+    Walks the device's precision ladder from FP32 downward; at each rung,
+    assigns every adjustable op the lowest supported precision >= the rung
+    and returns the first assignment that fits ``device.available_memory``.
+    """
+    memory_model = memory_model or MemoryModel()
+    ladder = sorted(device.supported_precisions(), key=lambda p: -p.bits)
+    work = dag.copy()
+    for target in ladder:
+        plan: dict[str, Precision] = {}
+        for op in work.adjustable_ops():
+            cands = [
+                p for p in work.spec(op).supported_precisions() if device.supports(p)
+            ]
+            usable = [p for p in cands if p.bits >= target.bits]
+            plan[op] = min(usable, key=lambda p: p.bits) if usable else cands[-1]
+        work.apply_plan(plan)
+        if memory_model.fits(work, device.available_memory):
+            return plan
+    raise InfeasiblePlanError(
+        f"no uniform precision fits {device.name} "
+        f"({device.available_memory / 2**30:.1f} GiB available)"
+    )

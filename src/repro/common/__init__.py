@@ -1,0 +1,60 @@
+"""Shared substrate: precision dtypes, physical units, RNG discipline, errors.
+
+Everything else in :mod:`repro` builds on these primitives, so they are kept
+dependency-free (numpy only) and heavily unit-tested.
+"""
+
+from repro.common.dtypes import (
+    Precision,
+    PRECISION_ORDER,
+    higher_precision,
+    lower_precision,
+    parse_precision,
+)
+from repro.common.errors import (
+    ReproError,
+    UnsupportedPrecisionError,
+    MemoryBudgetError,
+    GraphConsistencyError,
+    KernelConfigError,
+    InfeasiblePlanError,
+)
+from repro.common.rng import new_rng, spawn_rngs
+from repro.common.units import (
+    KB,
+    MB,
+    GB,
+    MS,
+    US,
+    TFLOPS,
+    GBPS,
+    bytes_to_mb,
+    bytes_to_gb,
+    seconds_to_ms,
+)
+
+__all__ = [
+    "Precision",
+    "PRECISION_ORDER",
+    "higher_precision",
+    "lower_precision",
+    "parse_precision",
+    "ReproError",
+    "UnsupportedPrecisionError",
+    "MemoryBudgetError",
+    "GraphConsistencyError",
+    "KernelConfigError",
+    "InfeasiblePlanError",
+    "new_rng",
+    "spawn_rngs",
+    "KB",
+    "MB",
+    "GB",
+    "MS",
+    "US",
+    "TFLOPS",
+    "GBPS",
+    "bytes_to_mb",
+    "bytes_to_gb",
+    "seconds_to_ms",
+]

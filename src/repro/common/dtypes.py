@@ -1,0 +1,149 @@
+"""Precision formats used throughout QSync.
+
+The paper selects operator precisions among ``INT8``, ``FP16`` and ``FP32``
+(Sec. VII, "Benchmarks").  A :class:`Precision` carries everything the rest of
+the system needs to reason about a format: bit width, storage bytes,
+fixed-vs-floating point, and (for floats) the exponent/mantissa split used by
+the variance theory of Proposition 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+
+class Precision(enum.Enum):
+    """A numeric format an operator can execute in.
+
+    Members are ordered by bit width; :data:`PRECISION_ORDER` gives the
+    canonical low-to-high ordering used by the Allocator when "recovering"
+    operators to the next higher precision (Sec. V).
+    """
+
+    INT8 = "int8"
+    FP16 = "fp16"
+    FP32 = "fp32"
+
+    # ------------------------------------------------------------------
+    # format properties
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """Total storage bits of the format."""
+        return {Precision.INT8: 8, Precision.FP16: 16, Precision.FP32: 32}[self]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage bytes per element."""
+        return self.bits // 8
+
+    @property
+    def is_floating_point(self) -> bool:
+        return self in (Precision.FP16, Precision.FP32)
+
+    @property
+    def is_fixed_point(self) -> bool:
+        return self is Precision.INT8
+
+    @property
+    def mantissa_bits(self) -> int:
+        """Explicit mantissa bits (floats only).
+
+        The paper's Proposition 2 uses ``epsilon = 2**-k`` with ``k = 9`` for
+        float16: 10 stored mantissa bits give 9 fully-stochastic roundable
+        bits in the paper's accounting, so we expose ``k`` directly as
+        :meth:`stochastic_mantissa_bits`.
+        """
+        if self is Precision.FP16:
+            return 10
+        if self is Precision.FP32:
+            return 23
+        raise ValueError(f"{self} has no mantissa")
+
+    @property
+    def stochastic_mantissa_bits(self) -> int:
+        """``k`` in Proposition 2 (``epsilon = 2**-k``); 9 for FP16."""
+        if self is Precision.FP16:
+            return 9
+        if self is Precision.FP32:
+            return 23
+        raise ValueError(f"{self} has no mantissa")
+
+    @property
+    def exponent_bits(self) -> int:
+        if self is Precision.FP16:
+            return 5
+        if self is Precision.FP32:
+            return 8
+        raise ValueError(f"{self} has no exponent")
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent representable (IEEE-754 style)."""
+        if self is Precision.FP16:
+            return 15
+        if self is Precision.FP32:
+            return 127
+        raise ValueError(f"{self} has no exponent")
+
+    @property
+    def min_exponent(self) -> int:
+        """Smallest normal unbiased exponent."""
+        if self is Precision.FP16:
+            return -14
+        if self is Precision.FP32:
+            return -126
+        raise ValueError(f"{self} has no exponent")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Precision.{self.name}"
+
+
+#: Canonical low-to-high ordering used for precision "recovery".
+PRECISION_ORDER: tuple[Precision, ...] = (
+    Precision.INT8,
+    Precision.FP16,
+    Precision.FP32,
+)
+
+
+def parse_precision(value: Union[str, int, Precision]) -> Precision:
+    """Coerce a user-supplied precision designator to a :class:`Precision`.
+
+    Accepts the enum itself, names/values (``"fp16"``, ``"FP16"``) or bit
+    widths (``8``, ``16``, ``32``) as used in the paper's notation ``b_io``.
+    """
+    if isinstance(value, Precision):
+        return value
+    if isinstance(value, int):
+        by_bits = {8: Precision.INT8, 16: Precision.FP16, 32: Precision.FP32}
+        if value not in by_bits:
+            raise ValueError(f"no precision with bit width {value}")
+        return by_bits[value]
+    if isinstance(value, str):
+        name = value.strip().lower()
+        for prec in Precision:
+            if name in (prec.value, prec.name.lower()):
+                return prec
+        raise ValueError(f"unknown precision {value!r}")
+    raise TypeError(f"cannot interpret {value!r} as a precision")
+
+
+def higher_precision(prec: Precision) -> Precision | None:
+    """Next precision up in :data:`PRECISION_ORDER`, or ``None`` at the top.
+
+    This is the ``ADD(b_io)`` operation of the Allocator's heap entries.
+    """
+    idx = PRECISION_ORDER.index(prec)
+    if idx + 1 >= len(PRECISION_ORDER):
+        return None
+    return PRECISION_ORDER[idx + 1]
+
+
+def lower_precision(prec: Precision) -> Precision | None:
+    """Next precision down in :data:`PRECISION_ORDER`, or ``None`` at the bottom."""
+    idx = PRECISION_ORDER.index(prec)
+    if idx == 0:
+        return None
+    return PRECISION_ORDER[idx - 1]

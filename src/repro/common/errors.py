@@ -1,0 +1,30 @@
+"""Exception taxonomy for the QSync reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class UnsupportedPrecisionError(ReproError):
+    """An operator/device was asked to run in a precision it does not support.
+
+    E.g. INT8 on a V100 (no INT8 tensor cores, Table I of the paper).
+    """
+
+
+class MemoryBudgetError(ReproError):
+    """A precision plan exceeds a device's available memory ``M_i^max``."""
+
+
+class GraphConsistencyError(ReproError):
+    """A precision DAG / DFG violated a structural invariant."""
+
+
+class KernelConfigError(ReproError):
+    """An LP-PyTorch kernel template received an invalid configuration."""
+
+
+class InfeasiblePlanError(ReproError):
+    """No precision assignment satisfies the constraints of problem (1)."""

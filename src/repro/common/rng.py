@@ -1,0 +1,44 @@
+"""Random-number discipline.
+
+Stochastic rounding makes the whole training stack randomized, so every
+component that draws randomness takes an explicit ``numpy.random.Generator``.
+These helpers centralize construction so experiments are reproducible and
+workers in the data-parallel trainer get statistically independent streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def new_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create a fresh PCG64 generator.
+
+    ``None`` gives OS entropy; an int gives a reproducible stream.
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, the recommended way to
+    get parallel streams that are provably independent — one per simulated
+    worker/device in :mod:`repro.parallel`.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def derive_seed(seed: int, *keys: Iterable) -> int:
+    """Mix arbitrary hashable keys into a base seed deterministically."""
+    h = np.uint64(seed)
+    for key in keys:
+        for ch in str(key).encode():
+            # FNV-1a style mixing, cheap and adequate for seeding.
+            h = np.uint64((int(h) ^ ch) * 0x100000001B3 % (2**64))
+    return int(h % (2**31 - 1))

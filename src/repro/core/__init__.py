@@ -1,0 +1,52 @@
+"""The paper's contribution: Predictor (Indicator + Replayer) and Allocator.
+
+* :mod:`repro.core.indicator` — the bi-directional mixed-precision
+  sensitivity indicator ``Omega_o^{(b_o)}`` (Proposition 3, Eqs. 3–5).
+* :mod:`repro.core.dfg` — local/global data-flow graphs: the execution
+  timeline representation the Replayer simulates.
+* :mod:`repro.core.cost_mapper` — Algorithm 1: neighborhood-aware cost
+  mapping with cascading precision-dependent updates.
+* :mod:`repro.core.replayer` — the Replayer: applies plans, rebuilds DFGs,
+  simulates the global timeline (Eq. 6) and estimates memory.
+* :mod:`repro.core.simulator` — the fine-grained ground-truth event engine
+  that replaces the paper's hardware measurements (DESIGN.md §4.1).
+* :mod:`repro.core.allocator` — quantization-minimized precision allocation:
+  fastest-feasible initialization + max-heap recovery (Sec. V).
+* :mod:`repro.core.qsync` — the end-to-end 7-step workflow (Fig. 3).
+"""
+
+from repro.core.indicator import VarianceIndicator, IndicatorProtocol
+from repro.core.dfg import LocalDFG, GlobalDFG, DFGNode, NodeKind, Stream
+from repro.core.cost_mapper import (
+    CostMapper,
+    effective_precisions,
+    output_precision,
+    grad_precision,
+)
+from repro.core.replayer import Replayer, SimulationResult
+from repro.core.simulator import GroundTruthSimulator
+from repro.core.allocator import Allocator, AllocatorConfig
+from repro.core.plan import PrecisionPlan
+from repro.core.qsync import qsync_plan, QSyncReport
+
+__all__ = [
+    "VarianceIndicator",
+    "IndicatorProtocol",
+    "LocalDFG",
+    "GlobalDFG",
+    "DFGNode",
+    "NodeKind",
+    "Stream",
+    "CostMapper",
+    "effective_precisions",
+    "output_precision",
+    "grad_precision",
+    "Replayer",
+    "SimulationResult",
+    "GroundTruthSimulator",
+    "Allocator",
+    "AllocatorConfig",
+    "PrecisionPlan",
+    "qsync_plan",
+    "QSyncReport",
+]

@@ -1,0 +1,397 @@
+"""The precision Allocator (Sec. V).
+
+Solves problem (1): minimize total operator sensitivity on inference GPUs
+subject to per-device memory (``M_i <= M_i^max``) and global throughput
+(``E >= T_min``) constraints.
+
+Strategy (per the paper):
+
+1. **Initialization — fastest feasible plan.**  Starting from FP32 and
+   demoting is ill-directed because casting costs make "lower" not always
+   "faster"; instead the allocator starts from the *fastest* setting.  The
+   search space is collapsed by the repeating-isomorphic-subgraph structure:
+   each isomorphism class is brute-forced once (all blocks of a class share
+   the decision) against full-graph latency and memory, largest-FLOPs class
+   first.  This is a coordinate descent whose per-class step is exhaustive —
+   a strictly stronger feasibility check than pre-splitting memory budgets,
+   with identical intent (documented deviation, DESIGN.md §4).
+2. **Recovery — max-heap precision ascent.**  A heap per inference device
+   type holds ``[Omega(b) - Omega(ADD(b)), op]``: the sensitivity *decrement*
+   available by promoting each op one precision level.  Pop the largest,
+   promote tentatively, re-simulate with the Replayer; keep the change iff
+   memory still fits everywhere and throughput stays >= ``T_min``; push the
+   op back with its next-higher precision while one exists.
+
+``T_min`` is the throughput of the uniform lowest-feasible-precision plan
+(problem (1)'s definition).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+
+from repro.common.dtypes import Precision, higher_precision
+from repro.common.errors import InfeasiblePlanError
+from repro.core.indicator import IndicatorProtocol
+from repro.core.plan import PrecisionPlan
+from repro.core.replayer import Replayer
+from repro.graph.dag import PrecisionDAG
+from repro.graph.subgraph import group_blocks, isomorphism_classes
+
+
+@dataclasses.dataclass
+class AllocatorConfig:
+    """Tunables for the allocation search."""
+
+    #: Max adjustable ops per block to enumerate exhaustively (3^n growth);
+    #: larger blocks fall back to uniform candidates.
+    max_bruteforce_ops: int = 6
+    #: Relative slack on the throughput constraint: keep a recovery step iff
+    #: ``E_new >= (1 - slack) * T_min``.
+    throughput_slack: float = 0.005
+    #: Hard cap on recovery iterations (defensive; heaps empty long before).
+    max_recovery_steps: int = 10_000
+    #: §VIII "QSync Under Automated Mixed Precision": when True, training
+    #: GPUs also start from their fastest precision (AMP's FP16) and join
+    #: the recovery heaps — the "throughput-maximum case" where the recovery
+    #: target shifts from the inference GPUs to the training GPUs.
+    amp_mode: bool = False
+
+
+@dataclasses.dataclass
+class AllocationReport:
+    """Diagnostics of one allocation run."""
+
+    t_min: float
+    initial_throughput: float
+    final_throughput: float
+    recovery_attempts: int
+    recovery_accepted: int
+    initial_counts: dict[str, int]
+    final_counts: dict[str, int]
+
+    def summary(self) -> str:
+        return (
+            f"T_min={self.t_min:.3f} it/s, init E={self.initial_throughput:.3f}, "
+            f"final E={self.final_throughput:.3f}; recovered "
+            f"{self.recovery_accepted}/{self.recovery_attempts} promotions; "
+            f"precisions {self.initial_counts} -> {self.final_counts}"
+        )
+
+
+class Allocator:
+    """Quantization-minimized precision allocation.
+
+    Parameters
+    ----------
+    replayer:
+        Configured with per-rank DAGs/catalogs; training-GPU DAGs are left
+        at FP32 throughout.
+    indicators:
+        Device-type name -> sensitivity indicator (QSync's variance
+        indicator, or a baseline implementing the same protocol).
+    config:
+        Search tunables.
+    """
+
+    def __init__(
+        self,
+        replayer: Replayer,
+        indicators: dict[str, IndicatorProtocol],
+        config: AllocatorConfig | None = None,
+    ) -> None:
+        self.replayer = replayer
+        self.indicators = indicators
+        self.config = config or AllocatorConfig()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _inference_ranks_by_type(self) -> dict[str, list[int]]:
+        """Device types whose operators the allocator may quantize.
+
+        Default: inference GPUs only (training GPUs pinned FP32 per problem
+        (1)).  Under :attr:`AllocatorConfig.amp_mode` every device type
+        participates — the paper's §VIII throughput-maximum scenario.
+        """
+        workers = (
+            self.replayer.cluster.workers
+            if self.config.amp_mode
+            else self.replayer.cluster.inference_workers
+        )
+        groups: dict[str, list[int]] = {}
+        for w in workers:
+            groups.setdefault(w.device.name, []).append(w.rank)
+        return groups
+
+    def _device_for_type(self, name: str):
+        for w in self.replayer.cluster.workers:
+            if w.device.name == name:
+                return w.device
+        raise KeyError(name)
+
+    def _candidates_for(self, dag: PrecisionDAG, op: str, device) -> list[Precision]:
+        """Precisions both the op's kernels and the device support."""
+        return [
+            p
+            for p in dag.spec(op).supported_precisions()
+            if device.supports(p)
+        ]
+
+    def _apply_to_type(self, ranks: list[int], plan: dict[str, Precision]) -> None:
+        for rank in ranks:
+            self.replayer.apply_plan(rank, plan)
+
+    def _memory_ok(self) -> bool:
+        for w in self.replayer.cluster.workers:
+            est = self.replayer.memory_estimate(w.rank)
+            if est.total > w.device.available_memory:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # step 1: uniform lowest-feasible plan -> T_min
+    # ------------------------------------------------------------------
+    def _uniform_lowest_plan(
+        self, dag: PrecisionDAG, ranks: list[int], device
+    ) -> dict[str, Precision]:
+        """Uniform *lowest* supported precision meeting memory — the T_min
+        reference of problem (1): "converting all operators to int8 or fp16
+        depending on the lowest precision that the inference GPUs support".
+
+        Walks the ladder from the lowest format upward and returns the first
+        memory-feasible uniform plan (the lowest format is also the smallest,
+        so later rungs only matter for devices with odd memory anatomies).
+        """
+        ladder = sorted(device.supported_precisions(), key=lambda p: p.bits)
+        for target in ladder:
+            plan: dict[str, Precision] = {}
+            for op in dag.adjustable_ops():
+                cands = self._candidates_for(dag, op, device)
+                usable = [p for p in cands if p.bits >= target.bits]
+                plan[op] = min(usable, key=lambda p: p.bits) if usable else cands[-1]
+            self._apply_to_type(ranks, plan)
+            if self._memory_ok():
+                return plan
+        raise InfeasiblePlanError(
+            f"even uniform {ladder[0].value} exceeds memory on {device.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # step 2: fastest feasible initialization (subgraph brute force)
+    # ------------------------------------------------------------------
+    def _initial_plan(
+        self, dag: PrecisionDAG, ranks: list[int], device
+    ) -> dict[str, Precision]:
+        # Start from uniform-lowest (always memory-feasible per T_min step).
+        plan = {
+            op: min(self._candidates_for(dag, op, device), key=lambda p: p.bits)
+            for op in dag.adjustable_ops()
+        }
+        self._apply_to_type(ranks, plan)
+        if not self._memory_ok():
+            raise InfeasiblePlanError(f"lowest precisions exceed {device.name} memory")
+
+        blocks = group_blocks(dag)
+        classes = isomorphism_classes(dag)
+        # Largest compute first: decide the expensive blocks before the
+        # cheap ones constrain them.
+        def class_flops(labels: list[str]) -> float:
+            return sum(
+                dag.spec(op).flops for lbl in labels for op in blocks[lbl]
+            )
+
+        for labels in sorted(classes.values(), key=class_flops, reverse=True):
+            # Single-candidate ops (e.g. FP32-pinned softmax) have no
+            # decision to make — enumerate only genuinely adjustable ones.
+            template_ops = [
+                op
+                for op in blocks[labels[0]]
+                if dag.spec(op).is_adjustable
+                and len(self._candidates_for(dag, op, device)) > 1
+            ]
+            if not template_ops:
+                continue
+            per_op_cands = [
+                self._candidates_for(dag, op, device) for op in template_ops
+            ]
+            if len(template_ops) <= self.config.max_bruteforce_ops:
+                assignments = itertools.product(*per_op_cands)
+            else:
+                # Too large to enumerate: sweep uniform *targets*, each op
+                # taking its nearest supported precision at-or-above it.
+                targets = sorted(
+                    {p for cands in per_op_cands for p in cands},
+                    key=lambda p: p.bits,
+                )
+                assignments = []
+                for target in targets:
+                    assignments.append(
+                        tuple(
+                            min(
+                                [p for p in cands if p.bits >= target.bits]
+                                or [cands[-1]],
+                                key=lambda p: p.bits,
+                            )
+                            for cands in per_op_cands
+                        )
+                    )
+
+            # Positional mapping template block -> every block in the class
+            # (isomorphism guarantees per-position candidate sets coincide).
+            class_adjustable = [
+                [
+                    op
+                    for op in blocks[lbl]
+                    if dag.spec(op).is_adjustable
+                    and len(self._candidates_for(dag, op, device)) > 1
+                ]
+                for lbl in labels
+            ]
+            best: tuple[float, dict[str, Precision]] | None = None
+            for assignment in assignments:
+                trial = dict(plan)
+                for ops in class_adjustable:
+                    for op, prec in zip(ops, assignment):
+                        if prec in self._candidates_for(dag, op, device):
+                            trial[op] = prec
+                self._apply_to_type(ranks, trial)
+                if not self._memory_ok():
+                    continue
+                # Local execution latency (no comm): the device's own DFG.
+                dfg = self.replayer.mappers[ranks[0]].build_local_dfg(
+                    device.name, ranks[0]
+                )
+                t = dfg.compute_time
+                if best is None or t < best[0]:
+                    best = (t, trial)
+            if best is not None:
+                plan = best[1]
+                self._apply_to_type(ranks, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # step 3: precision recovery
+    # ------------------------------------------------------------------
+    def allocate(self) -> tuple[PrecisionPlan, AllocationReport]:
+        """Run the full allocation; returns the plan and diagnostics."""
+        type_ranks = self._inference_ranks_by_type()
+        if not type_ranks:
+            # Pure training cluster: everything FP32, nothing to do.
+            sim = self.replayer.simulate()
+            report = AllocationReport(
+                t_min=sim.throughput,
+                initial_throughput=sim.throughput,
+                final_throughput=sim.throughput,
+                recovery_attempts=0,
+                recovery_accepted=0,
+                initial_counts={},
+                final_counts={},
+            )
+            return PrecisionPlan(assignments={}), report
+
+        plans: dict[str, dict[str, Precision]] = {}
+
+        # T_min: uniform lowest-feasible on every inference type at once.
+        for name, ranks in type_ranks.items():
+            dag = self.replayer.dags[ranks[0]]
+            device = self._device_for_type(name)
+            plans[name] = self._uniform_lowest_plan(dag, ranks, device)
+        t_min = self.replayer.simulate().throughput
+
+        # Fastest-feasible initialization.
+        for name, ranks in type_ranks.items():
+            dag = self.replayer.dags[ranks[0]]
+            device = self._device_for_type(name)
+            plans[name] = self._initial_plan(dag, ranks, device)
+        initial_sim = self.replayer.simulate()
+        initial_counts = _counts(plans)
+
+        # Recovery heaps: one per device type (all same-type workers share
+        # the plan — identical devices, identical local batches).
+        threshold = (1.0 - self.config.throughput_slack) * t_min
+        attempts = 0
+        accepted = 0
+        heap: list[tuple[float, int, str, str]] = []
+        tiebreak = itertools.count()
+        for name, ranks in type_ranks.items():
+            indicator = self.indicators[name]
+            dag = self.replayer.dags[ranks[0]]
+            device = self._device_for_type(name)
+            for op, prec in plans[name].items():
+                entry = self._heap_entry(dag, device, indicator, op, prec, tiebreak)
+                if entry is not None:
+                    heap.append((*entry[:2], name, entry[2]))
+        heapq.heapify(heap)
+
+        while heap and attempts < self.config.max_recovery_steps:
+            neg_dec, _, name, op = heapq.heappop(heap)
+            ranks = type_ranks[name]
+            dag = self.replayer.dags[ranks[0]]
+            device = self._device_for_type(name)
+            indicator = self.indicators[name]
+            current = plans[name][op]
+            target = self._next_supported(dag, device, op, current)
+            if target is None:
+                continue
+            attempts += 1
+            trial = dict(plans[name])
+            trial[op] = target
+            self._apply_to_type(ranks, trial)
+            sim = self.replayer.simulate()
+            if self._memory_ok() and sim.throughput >= threshold:
+                plans[name] = trial
+                accepted += 1
+                entry = self._heap_entry(dag, device, indicator, op, target, tiebreak)
+                if entry is not None:
+                    heapq.heappush(heap, (*entry[:2], name, entry[2]))
+            else:
+                # Revert.
+                self._apply_to_type(ranks, plans[name])
+
+        final_sim = self.replayer.simulate()
+        report = AllocationReport(
+            t_min=t_min,
+            initial_throughput=initial_sim.throughput,
+            final_throughput=final_sim.throughput,
+            recovery_attempts=attempts,
+            recovery_accepted=accepted,
+            initial_counts=initial_counts,
+            final_counts=_counts(plans),
+        )
+        return PrecisionPlan(assignments=plans), report
+
+    # ------------------------------------------------------------------
+    def _next_supported(
+        self, dag: PrecisionDAG, device, op: str, current: Precision
+    ) -> Precision | None:
+        cands = self._candidates_for(dag, op, device)
+        prec = current
+        while True:
+            nxt = higher_precision(prec)
+            if nxt is None:
+                return None
+            if nxt in cands:
+                return nxt
+            prec = nxt
+
+    def _heap_entry(
+        self, dag: PrecisionDAG, device, indicator: IndicatorProtocol,
+        op: str, prec: Precision, tiebreak,
+    ) -> tuple[float, int, str] | None:
+        """``[Omega(b) - Omega(ADD(b)), op]`` as a min-heap key (negated)."""
+        target = self._next_supported(dag, device, op, prec)
+        if target is None:
+            return None
+        decrement = indicator.omega(op, prec) - indicator.omega(op, target)
+        return (-decrement, next(tiebreak), op)
+
+
+def _counts(plans: dict[str, dict[str, Precision]]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for ops in plans.values():
+        for prec in ops.values():
+            out[prec.value] = out.get(prec.value, 0) + 1
+    return out

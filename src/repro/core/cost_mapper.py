@@ -1,0 +1,209 @@
+"""The neighborhood-aware Cost Mapper (Algorithm 1, Fig. 5).
+
+Responsibilities:
+
+1. **Precision propagation** — precision-dependent operators (``O_dep``)
+   take the precision implied by their inputs; changing an adjustable op
+   therefore cascades through dependent successors ("cascading precision
+   shift", Sec. II-B footnote 1).
+2. **Casting costs** — wherever a producer's *output* precision differs from
+   a consumer's *compute* precision, a cast node is charged via the fitted
+   linear models (``CP``); weight casts are charged for adjustable ops below
+   FP32; backward casts are charged where gradient formats disagree.
+3. **DFG reconstruction** — pure op execution costs are fetched from the
+   profiled catalog (``CC_i``) at the op's effective precision and assembled
+   into a :class:`LocalDFG`.
+
+Two entry points: :meth:`CostMapper.build_local_dfg` (full rebuild, used by
+the Replayer) and :meth:`CostMapper.apply_change` (the literal incremental
+Algorithm 1, used by the Allocator's inner loop and tested for equivalence
+against the full rebuild).
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import Precision
+from repro.graph.dag import PrecisionDAG
+from repro.graph.ops import OpKind
+from repro.graph.propagation import (  # noqa: F401 - canonical re-export
+    effective_precisions,
+    grad_precision,
+    output_precision,
+)
+from repro.core.dfg import (
+    CommBucket,
+    DFGNode,
+    LocalDFG,
+    NodeKind,
+    assign_buckets,
+)
+from repro.profiling.casting import CastCostCalculator
+from repro.profiling.profiler import OperatorCostCatalog
+
+
+class CostMapper:
+    """Maps a precision assignment to a costed :class:`LocalDFG`.
+
+    Parameters
+    ----------
+    dag:
+        The device's Precision DAG (mutated by :meth:`apply_change`).
+    catalog:
+        Profiled pure-execution costs ``CC_i``.
+    cast_calc:
+        Fitted casting-cost models ``CP``.
+    optimizer_flops_per_elem:
+        Optimizer-step work per parameter element (SGD+momentum ~ 4).
+    """
+
+    def __init__(
+        self,
+        dag: PrecisionDAG,
+        catalog: OperatorCostCatalog,
+        cast_calc: CastCostCalculator,
+        device=None,
+        bucket_cap_bytes: int = 25 * 1024**2,
+    ) -> None:
+        self.dag = dag
+        self.catalog = catalog
+        self.cast_calc = cast_calc
+        self.device = device
+        self.bucket_cap_bytes = bucket_cap_bytes
+
+    # ------------------------------------------------------------------
+    # catalog lookup with pass-through fallback
+    # ------------------------------------------------------------------
+    def _pure_cost(self, op: str, precision: Precision):
+        """CC_i lookup; dependent ops profiled only at FP16/FP32."""
+        if self.catalog.has(op, precision):
+            return self.catalog.get(op, precision)
+        # INT8-effective dependent ops execute their FP16 kernel.
+        if precision is Precision.INT8 and self.catalog.has(op, Precision.FP16):
+            return self.catalog.get(op, Precision.FP16)
+        return self.catalog.get(op, Precision.FP32)
+
+    # ------------------------------------------------------------------
+    # full DFG construction
+    # ------------------------------------------------------------------
+    def build_local_dfg(self, device_name: str, rank: int) -> LocalDFG:
+        """Rebuild the device's execution line under the current precisions."""
+        dfg = LocalDFG(device_name, rank)
+        effective = effective_precisions(self.dag)
+        topo = self.dag.topo_order()
+
+        # ---- forward pass: casts then compute, in topological order.
+        for name in topo:
+            spec = self.dag.spec(name)
+            prec = effective[name]
+            # Input casts (lines 6-10 of Alg. 1).
+            for pred in self.dag.predecessors(name):
+                src_prec = output_precision(effective[pred])
+                if src_prec is not prec:
+                    cost = self.cast_calc.predict(
+                        src_prec, prec, self.dag.spec(pred).output_elems
+                    )
+                    if cost > 0:
+                        dfg.add_forward(
+                            DFGNode(
+                                f"cast:{pred}->{name}", NodeKind.CAST, cost, op=name
+                            )
+                        )
+            # Weight cast (lines 11-13).
+            if spec.is_adjustable and spec.has_weight and prec is not Precision.FP32:
+                cost = self.cast_calc.predict(
+                    Precision.FP32, prec, spec.weight_elems
+                )
+                if cost > 0:
+                    dfg.add_forward(
+                        DFGNode(f"cast:w:{name}", NodeKind.CAST, cost, op=name)
+                    )
+            fwd = self._pure_cost(name, prec).forward
+            if fwd > 0:
+                dfg.add_forward(DFGNode(name, NodeKind.FORWARD, fwd, op=name))
+
+        # ---- backward pass: reverse topological order.
+        weighted_rev: list[tuple[str, int]] = []
+        bwd_nodes: list[DFGNode] = []
+        for name in reversed(topo):
+            spec = self.dag.spec(name)
+            if spec.kind is OpKind.INPUT:
+                continue  # the graph input's gradient is never materialized
+            prec = effective[name]
+            my_grad = grad_precision(prec)
+            # Gradient-format casts from successors (lines 17-24): each
+            # successor hands back a gradient in its own backward format.
+            for succ in self.dag.successors(name):
+                succ_grad = grad_precision(effective[succ])
+                if succ_grad is not my_grad:
+                    cost = self.cast_calc.predict(
+                        succ_grad, my_grad, spec.output_elems
+                    )
+                    if cost > 0:
+                        bwd_nodes.append(
+                            DFGNode(
+                                f"cast:g:{succ}->{name}", NodeKind.CAST, cost, op=name
+                            )
+                        )
+            bwd = self._pure_cost(name, prec).backward
+            if bwd > 0:
+                bwd_nodes.append(DFGNode(f"bwd:{name}", NodeKind.BACKWARD, bwd, op=name))
+            if spec.has_weight:
+                weighted_rev.append((name, spec.weight_elems * Precision.FP32.nbytes))
+        for node in bwd_nodes:
+            dfg.add_backward(node)
+
+        # ---- gradient buckets + readiness points.
+        buckets = assign_buckets(weighted_rev, self.bucket_cap_bytes)
+        ready_after: dict[int, int] = {}
+        op_to_bwd_idx = {
+            node.op: i
+            for i, node in enumerate(dfg.backward)
+            if node.kind is NodeKind.BACKWARD
+        }
+        for bucket in buckets:
+            idx = max(
+                (op_to_bwd_idx.get(op, len(dfg.backward) - 1) for op in bucket.ops),
+                default=len(dfg.backward) - 1,
+            )
+            ready_after[bucket.index] = idx
+        dfg.set_buckets(buckets, ready_after)
+
+        # ---- optimizer step: bandwidth-bound elementwise pass over all
+        # parameters (read w, g, momentum; write w, momentum — 5 FP32 each).
+        total_weight_elems = self.dag.total_weight_elems()
+        opt_bytes = 5.0 * total_weight_elems * Precision.FP32.nbytes
+        if self.device is not None:
+            opt_time = (
+                opt_bytes / self.device.effective_bandwidth
+                + self.device.kernel_launch_overhead
+            )
+        else:
+            # Fall back to the fitted elementwise-pass slope: an FP32->FP16
+            # cast streams 6 bytes/elem, the optimizer streams 20.
+            slope = self.cast_calc.model(Precision.FP32, Precision.FP16).slope
+            opt_time = slope * total_weight_elems * (20.0 / 6.0)
+        dfg.set_optimizer(opt_time)
+        return dfg
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: incremental change
+    # ------------------------------------------------------------------
+    def apply_change(
+        self, op: str, new_precision: Precision, device_name: str = "", rank: int = 0
+    ) -> LocalDFG:
+        """CostMapping(G_i, o, b_io, CC_i, CP, DFG) — change one operator's
+        precision, cascade through dependent successors, rebuild the DFG.
+
+        The cascade is implicit: dependent precisions are *derived* from
+        adjustable ones by :func:`effective_precisions` at rebuild time,
+        which is equivalent to the BFS of lines 16-19 (tested).
+        """
+        spec = self.dag.spec(op)
+        if not spec.is_adjustable:
+            raise ValueError(f"operator {op!r} is not precision-adjustable")
+        if new_precision not in spec.supported_precisions():
+            raise ValueError(
+                f"{op!r} has no {new_precision.value} kernel"
+            )
+        self.dag.set_precision(op, new_precision)  # line 3: UpdateDAG
+        return self.build_local_dfg(device_name, rank)

@@ -1,0 +1,177 @@
+"""Local and global data-flow graphs (Sec. IV-B).
+
+QSync maintains three graphs per device: the Precision DAG (model structure +
+precisions; :mod:`repro.graph.dag`), the **local DFG** (the execution line of
+one training iteration: forward ops, casts, backward ops, optimizer, and the
+communication slots), and the **global DFG** (all local DFGs plus their
+communication dependencies).  The Replayer simulates the global DFG.
+
+Execution model (PyTorch-DDP-like): each device owns a CUDA stream executing
+forward then backward nodes in order, and a COMM stream executing gradient
+all-reduce buckets.  A bucket becomes ready once the backward node producing
+its last gradient finishes; collectives are synchronous across devices and
+ordered, giving exactly the recurrence of Eq. (6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable
+
+from repro.common.units import MB
+
+
+class NodeKind(enum.Enum):
+    FORWARD = "fwd"
+    BACKWARD = "bwd"
+    CAST = "cast"
+    COMM = "comm"
+    OPTIMIZER = "opt"
+
+
+class Stream(enum.Enum):
+    CUDA = "cuda"
+    COMM = "comm"
+
+
+@dataclasses.dataclass
+class DFGNode:
+    """One schedulable unit of work on a device stream."""
+
+    name: str
+    kind: NodeKind
+    duration: float
+    stream: Stream = Stream.CUDA
+    #: Source operator in the Precision DAG, when applicable.
+    op: str | None = None
+    #: For COMM nodes: index of the gradient bucket.
+    bucket: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative duration on node {self.name!r}")
+
+
+@dataclasses.dataclass
+class CommBucket:
+    """One gradient all-reduce bucket."""
+
+    index: int
+    nbytes: int
+    #: Ops whose weight gradients live in this bucket.
+    ops: tuple[str, ...]
+
+
+class LocalDFG:
+    """One device's execution line for a single training iteration."""
+
+    def __init__(self, device_name: str, rank: int) -> None:
+        self.device_name = device_name
+        self.rank = rank
+        self.forward: list[DFGNode] = []
+        self.backward: list[DFGNode] = []
+        self.optimizer: DFGNode | None = None
+        self.buckets: list[CommBucket] = []
+        #: bucket index -> index into ``backward`` after whose completion the
+        #: bucket is ready for all-reduce.
+        self.bucket_ready_after: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def add_forward(self, node: DFGNode) -> None:
+        self.forward.append(node)
+
+    def add_backward(self, node: DFGNode) -> None:
+        self.backward.append(node)
+
+    def set_optimizer(self, duration: float) -> None:
+        self.optimizer = DFGNode("optimizer", NodeKind.OPTIMIZER, duration)
+
+    def set_buckets(
+        self, buckets: list[CommBucket], ready_after: dict[int, int]
+    ) -> None:
+        if sorted(ready_after) != [b.index for b in buckets]:
+            raise ValueError("every bucket needs a readiness point")
+        self.buckets = buckets
+        self.bucket_ready_after = ready_after
+
+    # ------------------------------------------------------------------
+    @property
+    def forward_time(self) -> float:
+        return sum(n.duration for n in self.forward)
+
+    @property
+    def backward_time(self) -> float:
+        return sum(n.duration for n in self.backward)
+
+    @property
+    def compute_time(self) -> float:
+        opt = self.optimizer.duration if self.optimizer else 0.0
+        return self.forward_time + self.backward_time + opt
+
+    def cast_time(self) -> float:
+        """Total casting overhead in this DFG (diagnostics / Fig. 4)."""
+        return sum(
+            n.duration
+            for n in (*self.forward, *self.backward)
+            if n.kind is NodeKind.CAST
+        )
+
+    def bucket_ready_times(self) -> dict[int, float]:
+        """Bucket index -> CUDA-stream time its gradients are complete,
+        measured from forward start."""
+        t = self.forward_time
+        ready: dict[int, float] = {}
+        cum = t
+        after_to_bucket = {v: k for k, v in self.bucket_ready_after.items()}
+        for i, node in enumerate(self.backward):
+            cum += node.duration
+            if i in after_to_bucket:
+                ready[after_to_bucket[i]] = cum
+        # Buckets mapped past the last node (defensive) are ready at the end.
+        for b in self.buckets:
+            ready.setdefault(b.index, cum)
+        return ready
+
+
+class GlobalDFG:
+    """All local DFGs plus the synchronous-collective dependency."""
+
+    def __init__(self, locals_: Iterable[LocalDFG]) -> None:
+        self.locals = list(locals_)
+        if not self.locals:
+            raise ValueError("global DFG needs at least one local DFG")
+        n_buckets = {len(l.buckets) for l in self.locals}
+        if len(n_buckets) != 1:
+            raise ValueError(
+                f"devices disagree on bucket count: {sorted(n_buckets)} — "
+                "synchronous data parallelism requires identical bucketing"
+            )
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.locals[0].buckets)
+
+
+def assign_buckets(
+    weighted_ops_reverse: list[tuple[str, int]],
+    bucket_cap_bytes: int = 25 * MB,
+) -> list[CommBucket]:
+    """Group weight gradients into DDP-style buckets.
+
+    ``weighted_ops_reverse`` lists (op, grad_bytes) in *backward completion
+    order* (reverse topological).  Buckets fill greedily to the cap, like
+    torch.distributed's 25 MB default.
+    """
+    buckets: list[CommBucket] = []
+    cur_ops: list[str] = []
+    cur_bytes = 0
+    for op, nbytes in weighted_ops_reverse:
+        cur_ops.append(op)
+        cur_bytes += nbytes
+        if cur_bytes >= bucket_cap_bytes:
+            buckets.append(CommBucket(len(buckets), cur_bytes, tuple(cur_ops)))
+            cur_ops, cur_bytes = [], 0
+    if cur_ops:
+        buckets.append(CommBucket(len(buckets), cur_bytes, tuple(cur_ops)))
+    return buckets

@@ -1,0 +1,145 @@
+"""The sensitivity Indicator (Sec. IV-A).
+
+Implements Proposition 3's variance increment
+
+.. math::
+
+    \\Omega_o^{(b_o)} = \\gamma^2 d_o \\hat\\sigma_{fp}^{(o)}
+                       + (d_L - d_o) \\hat\\sigma_{bp}^{(o)}
+
+with the forward/backward per-operator variance terms of Eqs. (4)/(5),
+dispatched on whether ``b_o`` is a fixed-point or floating-point format.
+Inputs are the profiled :class:`~repro.profiling.stats.OperatorStats`
+(norms, dimensionalities, scales, effective exponents) plus the operator's
+depth in the Precision DAG.
+
+``Omega`` is what the Allocator minimizes: large Omega = quantizing this op
+at this precision injects much gradient variance = keep it high-precision.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.dtypes import Precision
+from repro.graph.dag import PrecisionDAG
+from repro.profiling.stats import OperatorStats
+
+
+class IndicatorProtocol(Protocol):
+    """Interface shared by QSync's indicator and the baselines."""
+
+    def omega(self, op: str, precision: Precision) -> float:
+        """Sensitivity of ``op`` at ``precision`` (0 for FP32)."""
+        ...
+
+
+class VarianceIndicator:
+    """QSync's variance-increment indicator.
+
+    Parameters
+    ----------
+    dag:
+        Precision DAG (provides ``d_o`` and ``d_L``).
+    stats:
+        Per-adjustable-op profiled statistics.
+    gamma:
+        Loss-gradient coefficient: ``1/N`` for cross-entropy with softmax,
+        ``2/N`` for MSE (Sec. IV-A); ``N`` = local batch size.
+    """
+
+    def __init__(
+        self,
+        dag: PrecisionDAG,
+        stats: dict[str, OperatorStats],
+        gamma: float,
+    ) -> None:
+        self.dag = dag
+        self.stats = stats
+        self.gamma = float(gamma)
+        self._d_max = dag.max_depth()
+
+    # ------------------------------------------------------------------
+    # Eq. (4): forward variance increment
+    # ------------------------------------------------------------------
+    def _sigma_fp(self, s: OperatorStats, precision: Precision) -> float:
+        if precision is Precision.INT8:
+            q_v = self._scale_at_bits(s.act_scale, 8)
+            q_x = self._scale_at_bits(s.weight_scale, 8)
+            return (
+                s.weight_norm_sq * q_v**2 * s.act_dims
+                + s.act_norm_sq * q_x**2 * s.weight_dims
+            ) / 6.0
+        eps = 2.0 ** (-precision.stochastic_mantissa_bits)
+        return (
+            eps**2
+            * (
+                s.weight_norm_sq * 2.0 ** (2 * s.act_exp) * s.act_dims
+                + s.act_norm_sq * 2.0 ** (2 * s.weight_exp) * s.weight_dims
+            )
+            / 6.0
+        )
+
+    # ------------------------------------------------------------------
+    # Eq. (5): backward variance increment
+    # ------------------------------------------------------------------
+    def _sigma_bp(self, s: OperatorStats, precision: Precision) -> float:
+        # Fixed-point kernels backpropagate in FP16 (footnote 2), so the
+        # gradient-side term always uses the FP16 epsilon.
+        eps16 = 2.0 ** (-Precision.FP16.stochastic_mantissa_bits)
+        if precision is Precision.INT8:
+            q_v = self._scale_at_bits(s.act_scale, 8)
+            return (
+                s.grad_norm_sq * q_v**2 * s.act_dims
+                + s.act_norm_sq * 2.0 ** (2 * s.grad_exp) * eps16**2 * s.grad_dims
+            ) / 6.0
+        eps = 2.0 ** (-precision.stochastic_mantissa_bits)
+        return (
+            eps**2
+            * (
+                s.grad_norm_sq * 2.0 ** (2 * s.act_exp) * s.act_dims
+                + s.act_norm_sq * 2.0 ** (2 * s.grad_exp) * s.grad_dims
+            )
+            / 6.0
+        )
+
+    @staticmethod
+    def _scale_at_bits(scale_8bit: float, bits: int) -> float:
+        """Rescale an 8-bit-profiled quantizer scale to another bit width."""
+        if bits == 8:
+            return scale_8bit
+        return scale_8bit * (2.0**8 - 1) / (2.0**bits - 1)
+
+    # ------------------------------------------------------------------
+    def omega(self, op: str, precision: Precision) -> float:
+        """Proposition 3's variance increment; 0 for FP32 (no quantization)."""
+        if precision is Precision.FP32:
+            return 0.0
+        if op not in self.stats:
+            raise KeyError(f"no profiled statistics for operator {op!r}")
+        s = self.stats[op]
+        d_o = self.dag.depth(op)
+        return (
+            self.gamma**2 * d_o * self._sigma_fp(s, precision)
+            + (self._d_max - d_o) * self._sigma_bp(s, precision)
+        )
+
+    def ranking(self, precision: Precision) -> list[tuple[str, float]]:
+        """Ops sorted most-sensitive-first at a given precision."""
+        scored = [(op, self.omega(op, precision)) for op in self.stats]
+        return sorted(scored, key=lambda kv: -kv[1])
+
+    def relative_ranks(self, precision: Precision) -> dict[str, int]:
+        """Op -> rank (0 = most sensitive), the quantity traced in Fig. 8."""
+        return {
+            op: rank for rank, (op, _) in enumerate(self.ranking(precision))
+        }
+
+
+def gamma_for_loss(loss: str, batch_size: int) -> float:
+    """The loss-gradient coefficient gamma of Sec. IV-A."""
+    if loss in ("ce", "cross_entropy", "softmax_ce"):
+        return 1.0 / batch_size
+    if loss in ("mse", "l2"):
+        return 2.0 / batch_size
+    raise ValueError(f"unknown loss {loss!r} (expected 'ce' or 'mse')")

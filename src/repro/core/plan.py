@@ -1,0 +1,62 @@
+"""Precision plans — the Allocator's output artifact (workflow step 5).
+
+A :class:`PrecisionPlan` maps each device *type* to a per-operator precision
+assignment.  Training GPUs always run FP32 (``b_ko = 32`` for
+``k ∈ K \\ K_inf``, problem (1)); inference GPU assignments come from the
+Allocator.  Plans serialize to plain dicts for storage/transport.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.common.dtypes import Precision, parse_precision
+
+
+@dataclasses.dataclass
+class PrecisionPlan:
+    """Per-device-type operator precision assignments."""
+
+    #: device name -> (op name -> precision); ops absent default to FP32.
+    assignments: dict[str, dict[str, Precision]]
+
+    def for_device(self, device_name: str) -> dict[str, Precision]:
+        """Plan for one device type (empty = all FP32)."""
+        return dict(self.assignments.get(device_name, {}))
+
+    def precision_counts(self, device_name: str) -> Counter:
+        """How many ops run at each precision on a device type."""
+        return Counter(p.value for p in self.assignments.get(device_name, {}).values())
+
+    def quantized_ops(self, device_name: str) -> list[str]:
+        """Ops below FP32 on a device type."""
+        return [
+            op
+            for op, prec in self.assignments.get(device_name, {}).items()
+            if prec is not Precision.FP32
+        ]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            dev: {op: prec.value for op, prec in ops.items()}
+            for dev, ops in self.assignments.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrecisionPlan":
+        return cls(
+            assignments={
+                dev: {op: parse_precision(v) for op, v in ops.items()}
+                for dev, ops in data.items()
+            }
+        )
+
+    def summary(self) -> str:
+        lines = []
+        for dev in sorted(self.assignments):
+            counts = self.precision_counts(dev)
+            parts = ", ".join(f"{counts[p]}x{p}" for p in ("int8", "fp16", "fp32") if counts[p])
+            lines.append(f"{dev}: {parts or 'all fp32'}")
+        return "; ".join(lines) or "empty plan"

@@ -1,0 +1,162 @@
+"""The end-to-end QSync workflow (Fig. 3).
+
+``qsync_plan`` executes steps 1-5 of the paper's pipeline:
+
+1. *Substitution* — the model graph arrives with mixed-precision-capable
+   operator specs (the catalog builders).
+2. *Profiling* — per device type: operator cost catalogs, casting-cost model
+   fits, and indicator statistics (real instrumented runs for mini models,
+   synthesized for full-size graphs).
+3. *Pre-replay construction* — per-rank Precision DAGs, indicator values.
+4. *Replay and optimization* — the Allocator searches precision settings
+   against the Replayer.
+5. The optimized :class:`PrecisionPlan` plus a :class:`QSyncReport` come
+   back; steps 6-7 (kernel configuration, actual training) live in
+   :mod:`repro.backend` and :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.backend.lp_backend import LPBackend
+from repro.common.dtypes import Precision
+from repro.core.allocator import AllocationReport, Allocator, AllocatorConfig
+from repro.core.indicator import IndicatorProtocol, VarianceIndicator, gamma_for_loss
+from repro.core.plan import PrecisionPlan
+from repro.core.replayer import Replayer, SimulationResult
+from repro.graph.dag import PrecisionDAG
+from repro.hardware.cluster import Cluster
+from repro.profiling.casting import CastCostCalculator
+from repro.profiling.profiler import profile_operator_costs
+from repro.profiling.stats import OperatorStats, synthesize_stats
+
+
+@dataclasses.dataclass
+class QSyncReport:
+    """Everything an operator of the system wants to know post-allocation."""
+
+    cluster: str
+    model_summary: str
+    allocation: AllocationReport
+    final_simulation: SimulationResult
+
+    def summary(self) -> str:
+        sim = self.final_simulation
+        return (
+            f"[{self.cluster}] {self.model_summary}\n"
+            f"  allocation: {self.allocation.summary()}\n"
+            f"  predicted iteration: {sim.iteration_time * 1e3:.1f} ms "
+            f"({sim.throughput:.3f} it/s)"
+        )
+
+
+def build_replayer(
+    dag_builder,
+    cluster: Cluster,
+    optimizer_slots: int = 1,
+    backends: dict[int, LPBackend] | None = None,
+    profile_repeats: int = 3,
+) -> tuple[Replayer, dict[int, LPBackend]]:
+    """Construct a Replayer with per-rank DAGs, catalogs, and cast models.
+
+    ``dag_builder()`` must return a fresh PrecisionDAG per call (each rank
+    mutates its own copy).  Profiling artifacts are shared across same-type
+    workers (one catalog per device type, like the paper's homogeneous-set
+    tracing).
+    """
+    if backends is None:
+        backends = {}
+        for w in cluster.workers:
+            backends[w.rank] = LPBackend(w.device, seed=0)
+    dags = {w.rank: dag_builder() for w in cluster.workers}
+
+    catalogs_by_type: dict[str, object] = {}
+    casts_by_type: dict[str, CastCostCalculator] = {}
+    catalogs = {}
+    cast_calcs = {}
+    for w in cluster.workers:
+        tname = w.device.name
+        if tname not in catalogs_by_type:
+            catalogs_by_type[tname] = profile_operator_costs(
+                dags[w.rank], backends[w.rank], repeats=profile_repeats
+            )
+            casts_by_type[tname] = CastCostCalculator(backends[w.rank])
+        catalogs[w.rank] = catalogs_by_type[tname]
+        cast_calcs[w.rank] = casts_by_type[tname]
+
+    replayer = Replayer(
+        cluster, dags, catalogs, cast_calcs, optimizer_slots=optimizer_slots
+    )
+    return replayer, backends
+
+
+def qsync_plan(
+    dag_builder,
+    cluster: Cluster,
+    stats: dict[str, OperatorStats] | None = None,
+    loss: str = "ce",
+    batch_size: int | None = None,
+    optimizer_slots: int = 1,
+    indicator_factory=None,
+    config: AllocatorConfig | None = None,
+) -> tuple[PrecisionPlan, QSyncReport]:
+    """Run the QSync workflow and return (plan, report).
+
+    Parameters
+    ----------
+    dag_builder:
+        Zero-arg callable returning a fresh :class:`PrecisionDAG`, or a
+        PrecisionDAG instance (copied per rank).
+    cluster:
+        Hybrid cluster topology.
+    stats:
+        Indicator statistics; synthesized from the graph when omitted
+        (full-size models — see DESIGN.md §4).
+    loss:
+        ``"ce"`` or ``"mse"`` — sets the gamma of Proposition 3.
+    batch_size:
+        Local batch size (defaults to the graph input's leading dim).
+    indicator_factory:
+        Optional ``(dag, stats, gamma) -> IndicatorProtocol`` override, used
+        by the baseline-indicator experiments (Table II).
+    """
+    if isinstance(dag_builder, PrecisionDAG):
+        template = dag_builder
+        builder = template.copy
+    else:
+        builder = dag_builder
+        template = builder()
+
+    if batch_size is None:
+        batch_size = template.spec(template.root()).output_shape[0]
+    if stats is None:
+        stats = synthesize_stats(template)
+    gamma = gamma_for_loss(loss, batch_size)
+
+    replayer, _backends = build_replayer(
+        builder, cluster, optimizer_slots=optimizer_slots
+    )
+
+    indicators: dict[str, IndicatorProtocol] = {}
+    amp_mode = config is not None and config.amp_mode
+    indicator_workers = cluster.workers if amp_mode else cluster.inference_workers
+    for w in indicator_workers:
+        if w.device.name not in indicators:
+            dag = replayer.dags[w.rank]
+            if indicator_factory is None:
+                indicators[w.device.name] = VarianceIndicator(dag, stats, gamma)
+            else:
+                indicators[w.device.name] = indicator_factory(dag, stats, gamma)
+
+    allocator = Allocator(replayer, indicators, config=config)
+    plan, alloc_report = allocator.allocate()
+
+    final = replayer.simulate(collect_timeline=True)
+    report = QSyncReport(
+        cluster=cluster.describe(),
+        model_summary=template.summary(),
+        allocation=alloc_report,
+        final_simulation=final,
+    )
+    return plan, report

@@ -1,0 +1,217 @@
+"""The Replayer: throughput estimation ``E(.)`` and memory ``M_i(.)``.
+
+Per device it owns a Precision DAG + Cost Mapper; :meth:`simulate` plays the
+global DFG forward under the synchronous-collective recurrence of Eq. (6):
+
+.. math::
+
+    comm^{start}_n = \\max(\\max_i comm^{start}_{i,n},\\; comm^{end}_{n-1})
+
+    comm^{end}_n = comm^{start}_n + \\max_i comm^{dur}_{i,n}
+
+i.e. bucket ``n`` starts when every device has produced its gradients *and*
+the previous collective finished; it lasts as long as the slowest
+participant.  The iteration latency is the max across devices of
+(compute end vs last collective end) plus the optimizer step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.dtypes import Precision
+from repro.core.cost_mapper import CostMapper
+from repro.core.dfg import GlobalDFG, LocalDFG
+from repro.hardware.cluster import Cluster
+from repro.profiling.casting import CastCostCalculator
+from repro.profiling.memory import MemoryEstimate, MemoryModel
+from repro.profiling.profiler import OperatorCostCatalog
+from repro.graph.dag import PrecisionDAG
+
+
+@dataclasses.dataclass
+class TimelineEvent:
+    """One executed interval, for Fig. 6-style waterfalls."""
+
+    rank: int
+    device: str
+    stream: str
+    start: float
+    end: float
+    label: str
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of one global-DFG simulation."""
+
+    iteration_time: float
+    per_device_compute: dict[int, float]
+    comm_wait_time: dict[int, float]
+    memory: dict[int, MemoryEstimate]
+    timeline: list[TimelineEvent]
+
+    @property
+    def throughput(self) -> float:
+        """Iterations per second."""
+        return 1.0 / self.iteration_time if self.iteration_time > 0 else float("inf")
+
+
+class Replayer:
+    """Simulates hybrid mixed-precision distributed training.
+
+    Parameters
+    ----------
+    cluster:
+        Worker topology (provides the all-reduce cost model).
+    dags:
+        Per-rank Precision DAGs (same structure; independent precisions).
+    catalogs, cast_calcs:
+        Per-rank profiled cost catalogs and fitted casting models.
+    optimizer_slots:
+        Memory-model optimizer state multiplier.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dags: dict[int, PrecisionDAG],
+        catalogs: dict[int, OperatorCostCatalog],
+        cast_calcs: dict[int, CastCostCalculator],
+        optimizer_slots: int = 1,
+        bucket_cap_bytes: int = 25 * 1024**2,
+    ) -> None:
+        self.cluster = cluster
+        self.dags = dags
+        self.memory_model = MemoryModel(optimizer_slots=optimizer_slots)
+        self.mappers: dict[int, CostMapper] = {}
+        for worker in cluster.workers:
+            rank = worker.rank
+            self.mappers[rank] = CostMapper(
+                dags[rank],
+                catalogs[rank],
+                cast_calcs[rank],
+                device=worker.device,
+                bucket_cap_bytes=bucket_cap_bytes,
+            )
+
+    # ------------------------------------------------------------------
+    def apply_plan(self, rank: int, plan: dict[str, Precision]) -> None:
+        """Install a per-op precision plan on one worker's DAG."""
+        self.dags[rank].apply_plan(plan)
+
+    def build_global_dfg(self) -> GlobalDFG:
+        locals_ = [
+            self.mappers[w.rank].build_local_dfg(w.device.name, w.rank)
+            for w in self.cluster.workers
+        ]
+        return GlobalDFG(locals_)
+
+    # ------------------------------------------------------------------
+    def simulate(self, collect_timeline: bool = False) -> SimulationResult:
+        """Estimate one iteration's latency under current precisions."""
+        gdfg = self.build_global_dfg()
+        return simulate_global_dfg(
+            gdfg, self.cluster, collect_timeline=collect_timeline,
+            memory={
+                w.rank: self.memory_model.estimate(self.dags[w.rank])
+                for w in self.cluster.workers
+            },
+        )
+
+    def memory_estimate(self, rank: int) -> MemoryEstimate:
+        return self.memory_model.estimate(self.dags[rank])
+
+
+def simulate_global_dfg(
+    gdfg: GlobalDFG,
+    cluster: Cluster,
+    collect_timeline: bool = False,
+    memory: dict[int, MemoryEstimate] | None = None,
+) -> SimulationResult:
+    """Play a global DFG through Eq. (6).
+
+    Separated from :class:`Replayer` so the ground-truth simulator can reuse
+    the identical synchronization semantics with its own (noisy) node
+    durations — keeping Table III's comparison about *cost modelling*, not
+    about divergent schedulers.
+    """
+    locals_ = gdfg.locals
+    timeline: list[TimelineEvent] = []
+
+    # Per-device CUDA-stream times.
+    compute_end: dict[int, float] = {}
+    ready_times: dict[int, dict[int, float]] = {}
+    for ldfg in locals_:
+        ready_times[ldfg.rank] = ldfg.bucket_ready_times()
+        compute_end[ldfg.rank] = ldfg.forward_time + ldfg.backward_time
+        if collect_timeline:
+            _emit_stream_timeline(ldfg, timeline)
+
+    # Synchronous collectives: Eq. (6).
+    comm_end_prev = 0.0
+    comm_end_final: float = 0.0
+    for n in range(gdfg.n_buckets):
+        start_candidates = [ready_times[l.rank][n] for l in locals_]
+        comm_start = max(max(start_candidates), comm_end_prev)
+        durations = [
+            cluster.allreduce_time(l.buckets[n].nbytes) for l in locals_
+        ]
+        comm_dur = max(durations)
+        comm_end = comm_start + comm_dur
+        if collect_timeline:
+            for ldfg in locals_:
+                timeline.append(
+                    TimelineEvent(
+                        rank=ldfg.rank,
+                        device=ldfg.device_name,
+                        stream="comm",
+                        start=comm_start,
+                        end=comm_end,
+                        label=f"allreduce:bucket{n}",
+                    )
+                )
+        comm_end_prev = comm_end
+        comm_end_final = comm_end
+
+    # Iteration end per device: optimizer runs after both the local backward
+    # and the final collective complete.
+    iteration_time = 0.0
+    per_device_compute: dict[int, float] = {}
+    comm_wait: dict[int, float] = {}
+    for ldfg in locals_:
+        rank = ldfg.rank
+        opt = ldfg.optimizer.duration if ldfg.optimizer else 0.0
+        local_done = max(compute_end[rank], comm_end_final)
+        comm_wait[rank] = max(0.0, comm_end_final - compute_end[rank])
+        end = local_done + opt
+        per_device_compute[rank] = ldfg.compute_time
+        if collect_timeline and ldfg.optimizer:
+            timeline.append(
+                TimelineEvent(rank, ldfg.device_name, "cuda", local_done, end, "optimizer")
+            )
+        iteration_time = max(iteration_time, end)
+
+    return SimulationResult(
+        iteration_time=iteration_time,
+        per_device_compute=per_device_compute,
+        comm_wait_time=comm_wait,
+        memory=memory or {},
+        timeline=timeline,
+    )
+
+
+def _emit_stream_timeline(ldfg: LocalDFG, timeline: list[TimelineEvent]) -> None:
+    t = 0.0
+    for node in (*ldfg.forward, *ldfg.backward):
+        timeline.append(
+            TimelineEvent(
+                rank=ldfg.rank,
+                device=ldfg.device_name,
+                stream="cuda",
+                start=t,
+                end=t + node.duration,
+                label=node.name,
+            )
+        )
+        t += node.duration

@@ -1,0 +1,34 @@
+"""Experiment harnesses — one per table/figure of the paper's evaluation.
+
+Every harness returns an :class:`ExperimentResult` whose rows mirror the
+paper's artifact, plus the paper-reported values for side-by-side reading.
+``quick=True`` shrinks seeds/epochs for CI-speed runs; the benchmarks under
+``benchmarks/`` call these with quick settings and assert the qualitative
+*shape* (who wins, where crossovers fall).
+
+Registry:
+
+======== ==========================================================
+table1   Device capability (Table I)
+table2   Indicator quality vs Random/Hessian (Table II)
+table3   Replay accuracy vs Dpro (Table III)
+table4   ClusterA end-to-end: accuracy + throughput (Table IV)
+table5   ClusterB end-to-end (Table V)
+table6   Fine-tuning tasks (Table VI)
+fig4     Operator cost composition (Fig. 4)
+fig6     Training timeline UP vs QSync (Fig. 6)
+fig7     Backend optimizations: MinMax + fusion (Fig. 7)
+fig8     Indicator rank trace over early training (Fig. 8)
+======== ==========================================================
+"""
+
+from repro.experiments.base import ExperimentResult, format_table
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

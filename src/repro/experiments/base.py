@@ -1,0 +1,95 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One reproduced table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (``table4``, ``fig7``, ...).
+    title:
+        Human-readable description, matching the paper's caption.
+    headers:
+        Column names of :attr:`rows`.
+    rows:
+        The reproduced data, one list per table row.
+    paper:
+        The corresponding numbers the paper reports (same header order
+        where applicable) — for side-by-side comparison, not for scoring:
+        absolute values differ by construction (simulated substrate,
+        synthetic data); *orderings* are the reproduction target.
+    notes:
+        Free-form commentary: substitutions, scale choices, observed shape.
+    extras:
+        Arbitrary artifacts (timelines, traces) keyed by name.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    paper: list[list[Any]] = dataclasses.field(default_factory=list)
+    notes: str = ""
+    extras: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def formatted(self) -> str:
+        out = [f"== {self.experiment_id}: {self.title} =="]
+        out.append(format_table(self.headers, self.rows))
+        if self.paper:
+            out.append("-- paper reported --")
+            out.append(format_table(self.headers, self.paper))
+        if self.notes:
+            out.append(f"notes: {self.notes}")
+        return "\n".join(out)
+
+    def column(self, header: str) -> list[Any]:
+        """Extract one column of the measured rows by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, header: str, value) -> list[Any]:
+        """First measured row whose ``header`` column equals ``value``."""
+        idx = self.headers.index(header)
+        for row in self.rows:
+            if row[idx] == value:
+                return row
+        raise KeyError(f"no row with {header}={value!r}")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table."""
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def mean_std(values: Sequence[float]) -> str:
+    """``mean±std`` string like the paper's accuracy cells."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 1:
+        return f"{arr[0] * 100:.2f}%"
+    return f"{arr.mean() * 100:.2f}±{arr.std() * 100:.2f}%"

@@ -1,0 +1,90 @@
+"""Fig. 4 — cost composition of an operator.
+
+For VGG16's second-to-last conv and a BERT attention linear on T4, split
+each precision's per-iteration cost into:
+
+* ``cvt_cost`` — forward casting (input + weight quantization);
+* ``cpt_cost`` — pure forward+backward kernel execution;
+* ``bp_cost``  — additional backward casting.
+
+The paper's figure shows FP32 as 100 % compute, with casting shares growing
+as precision drops (INT8's cvt share largest).
+"""
+
+from __future__ import annotations
+
+from repro.backend import LPBackend
+from repro.common.dtypes import Precision
+from repro.experiments.base import ExperimentResult
+from repro.graph.ops import OperatorSpec, OpKind, conv2d_flops, linear_flops
+from repro.hardware import T4
+
+
+def _operators() -> dict[str, tuple[OperatorSpec, int]]:
+    """(spec, input_elems) for the two probe operators, batch 64 / 32."""
+    conv = OperatorSpec(
+        "vgg16.conv12", OpKind.CONV2D, (64, 512, 14, 14),
+        weight_shape=(512, 512, 3, 3),
+        flops=conv2d_flops(64, 512, 512, 14, 14, 3, 3),
+    )
+    linear = OperatorSpec(
+        "bert.attn.linear", OpKind.LINEAR, (32 * 128, 768),
+        weight_shape=(768, 768),
+        flops=linear_flops(32 * 128, 768, 768),
+    )
+    return {
+        "conv": (conv, 64 * 512 * 14 * 14),
+        "linear": (linear, 32 * 128 * 768),
+    }
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    backend = LPBackend(T4, dequant_fusion=False)  # figure shows raw costs
+    rows = []
+    for op_label, (spec, input_elems) in _operators().items():
+        for prec in (Precision.FP32, Precision.FP16, Precision.INT8):
+            cpt = backend.op_forward_time(spec, prec, input_elems)
+            cpt += backend.op_backward_time(spec, prec, input_elems)
+            if prec is Precision.FP32:
+                cvt = 0.0
+                bp = 0.0
+            else:
+                cvt = backend.cast_time(Precision.FP32, prec, input_elems)
+                cvt += backend.cast_time(Precision.FP32, prec, spec.weight_elems)
+                # Backward-side casts: gradient enters/leaves in the
+                # backward format; INT8 additionally dequantizes outputs.
+                bp = backend.cast_time(
+                    Precision.FP32,
+                    Precision.FP16 if prec is Precision.INT8 else prec,
+                    spec.output_elems,
+                )
+                if prec is Precision.INT8:
+                    bp += backend.cast_time(Precision.INT8, Precision.FP32,
+                                            spec.output_elems)
+            total = cvt + cpt + bp
+            rows.append([
+                f"{op_label}{prec.bits}",
+                f"{cvt / total * 100:.1f}%",
+                f"{cpt / total * 100:.1f}%",
+                f"{bp / total * 100:.1f}%",
+            ])
+
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Cost composition of an operator on T4 (cvt / cpt / bp shares)",
+        headers=["Kernel", "cvt_cost", "cpt_cost", "bp_cost"],
+        rows=rows,
+        paper=[
+            ["linear32", "0%", "100.0%", "0%"],
+            ["linear16", "31.6%", "68.4%", "0%"],
+            ["linear8", "44.2%", "33.8%", "22.0%"],
+            ["conv32", "0%", "100.0%", "0%"],
+            ["conv16", "7.7%", "92.3%", "0%"],
+            ["conv8", "23.5%", "61.9%", "14.5%"],
+        ],
+        notes=(
+            "Shape to check: FP32 is pure compute; casting share grows as "
+            "precision drops and is larger for the linear (lower arithmetic "
+            "intensity) than the conv; INT8 adds a backward casting share."
+        ),
+    )

@@ -1,0 +1,69 @@
+"""Fig. 6 — training timeline of VGG16BN on ClusterA: UP vs QSync.
+
+Renders the CUDA/COMM stream waterfall of one simulated iteration under the
+uniform-precision plan and under QSync's plan, and quantifies the waiting
+time (the bubble between an inference GPU finishing its compute and the
+collective completing) that QSync's precision recovery reclaims.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import uniform_precision_plan
+from repro.common.dtypes import Precision
+from repro.core.qsync import qsync_plan, build_replayer
+from repro.experiments.base import ExperimentResult
+from repro.experiments.protocol import GRAPH_SCALE, find_pressure_batch
+from repro.hardware import T4, make_cluster_a
+from repro.models import mini_model_graph
+from repro.parallel import render_timeline, timeline_summary
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    model_name = "mini_vggbn"
+    batch = find_pressure_batch(model_name, T4.memory_bytes)
+    builder = lambda: mini_model_graph(
+        model_name, batch_size=batch, **GRAPH_SCALE[model_name]
+    )
+    cluster = make_cluster_a(1, 1) if quick else make_cluster_a(2, 2)
+
+    # --- UP timeline.
+    replayer, _ = build_replayer(builder, cluster, profile_repeats=2)
+    template = replayer.dags[cluster.inference_workers[0].rank]
+    up = uniform_precision_plan(template, cluster.inference_workers[0].device)
+    for w in cluster.inference_workers:
+        replayer.apply_plan(w.rank, up)
+    up_sim = replayer.simulate(collect_timeline=True)
+    up_stats = timeline_summary(up_sim)
+
+    # --- QSync timeline.
+    _plan, report = qsync_plan(builder, cluster, loss="ce")
+    qs_sim = report.final_simulation
+    qs_stats = timeline_summary(qs_sim)
+
+    rows = [
+        ["UP", f"{up_stats['iteration_ms']:.1f}",
+         f"{up_stats['max_wait_ms']:.1f}", f"{up_stats['total_wait_ms']:.1f}"],
+        ["QSync", f"{qs_stats['iteration_ms']:.1f}",
+         f"{qs_stats['max_wait_ms']:.1f}", f"{qs_stats['total_wait_ms']:.1f}"],
+    ]
+
+    waterfall = (
+        "--- Uniform precision ---\n"
+        + render_timeline(up_sim.timeline)
+        + "\n--- QSync ---\n"
+        + render_timeline(qs_sim.timeline)
+    )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Training timeline of VGG16BN on ClusterA (UP vs QSync)",
+        headers=["Method", "iteration (ms)", "max wait (ms)", "total wait (ms)"],
+        rows=rows,
+        notes=(
+            "Shape to check: under UP the fully-accelerated T4 idles waiting "
+            "for the V100 before each collective; QSync recovers precision "
+            "until that waiting time is spent on higher-precision compute "
+            "instead — same iteration latency, less idle.  Full waterfalls "
+            "in extras['waterfall']."
+        ),
+        extras={"waterfall": waterfall, "up_sim": up_sim, "qsync_sim": qs_sim},
+    )

@@ -1,0 +1,97 @@
+"""Fig. 7 — backend optimization effects.
+
+(a) Quantization (MinMax) overhead, vanilla vs optimized kernel, for a
+    (64, 56, 56) tensor at base batch 64 scaled 1x-5x (paper: 16-20 %
+    reduction, growing with batch).
+
+(b) Extra end-to-end overhead of INT8 relative to FP16 on a ResNet50-scale
+    training iteration at batch 256, BARE backend (no fusion, vanilla
+    MinMax) vs Optimized, on T4 and A10 (paper: ~10 % -> ~5 %).
+"""
+
+from __future__ import annotations
+
+from repro.backend import LPBackend, MinMaxKernel
+from repro.common.dtypes import Precision
+from repro.experiments.base import ExperimentResult
+from repro.hardware import A10, T4
+from repro.models import mini_model_graph
+
+
+def _iteration_time(backend: LPBackend, dag, precision: Precision) -> float:
+    """Sum of per-op fwd+bwd + casting under a uniform weighted-op plan."""
+    total = 0.0
+    for name in dag.topo_order():
+        spec = dag.spec(name)
+        input_elems = sum(dag.spec(p).output_elems for p in dag.predecessors(name))
+        if spec.has_weight and spec.is_adjustable:
+            prec = precision
+            total += backend.cast_time(Precision.FP32, prec, input_elems)
+            total += backend.cast_time(Precision.FP32, prec, spec.weight_elems)
+            if prec is Precision.INT8:
+                total += backend.cast_time(Precision.INT8, Precision.FP32,
+                                           spec.output_elems)
+        else:
+            prec = Precision.FP16 if backend.device.supports(Precision.FP16) else Precision.FP32
+            if not backend.device.supports(prec):
+                prec = Precision.FP32
+        if spec.flops > 0:
+            total += backend.op_forward_time(spec, prec, input_elems)
+            total += backend.op_backward_time(spec, prec, input_elems)
+    return total
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    rows = []
+
+    # ---- (a) full quantization pipeline (MinMax + scale + quantize),
+    # vanilla vs optimized kernels, 1x-5x batch.
+    base_elems = 64 * 56 * 56
+    vanilla_be = LPBackend(T4, optimized_minmax=False)
+    opt_be = LPBackend(T4, optimized_minmax=True)
+    for mult in range(1, 6):
+        elems = mult * base_elems
+        vanilla = vanilla_be.cast_time(Precision.FP32, Precision.INT8, elems,
+                                       rows=mult * 64)
+        optimized = opt_be.cast_time(Precision.FP32, Precision.INT8, elems,
+                                     rows=mult * 64)
+        rows.append([
+            "fig7a", f"{mult}x", f"{vanilla * 1e6:.1f}us", f"{optimized * 1e6:.1f}us",
+            f"-{(1 - optimized / vanilla) * 100:.0f}%",
+        ])
+
+    # ---- (b) INT8-vs-FP16 extra overhead, BARE vs Optimized, on the real
+    # ResNet50 graph at batch 256 (the paper's configuration) — arithmetic
+    # intensity matters here, so the mini-model mirror is not a substitute.
+    from repro.models import resnet50_graph
+
+    dag = resnet50_graph(batch_size=256 if not quick else 128)
+    for device in (T4, A10):
+        bare = LPBackend(device, dequant_fusion=False, optimized_minmax=False)
+        opt = LPBackend(device, dequant_fusion=True, optimized_minmax=True)
+        t16 = _iteration_time(opt, dag, Precision.FP16)
+        t8_bare = _iteration_time(bare, dag, Precision.INT8)
+        t8_opt = _iteration_time(opt, dag, Precision.INT8)
+        rows.append([
+            "fig7b", device.name,
+            f"+{(t8_bare / t16 - 1) * 100:.1f}% (BARE)",
+            f"+{(t8_opt / t16 - 1) * 100:.1f}% (Optimized)",
+            f"fp16={t16 * 1e3:.1f}ms",
+        ])
+
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Backend optimizations: (a) MinMax kernel, (b) INT8 extra overhead vs FP16",
+        headers=["Panel", "Config", "Baseline", "Optimized", "Delta"],
+        rows=rows,
+        paper=[
+            ["fig7a", "1x-5x", "vanilla", "optimized", "-16..20%"],
+            ["fig7b", "T4", "+10% (BARE)", "+5% (Optimized)", "-"],
+            ["fig7b", "A10", "+~10% (BARE)", "+~5% (Optimized)", "-"],
+        ],
+        notes=(
+            "Shape to check: (a) the optimized MinMax is uniformly faster "
+            "with the gap growing with tensor size; (b) optimization roughly "
+            "halves INT8's extra overhead relative to FP16 on both devices."
+        ),
+    )

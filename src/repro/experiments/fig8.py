@@ -1,0 +1,116 @@
+"""Fig. 8 — relative indicator rank over the first training updates.
+
+Trains MiniBERT (linears) and MiniResNet (convs) while recording
+per-iteration indicator statistics; after each update the ops are re-ranked
+by their Omega at the lowest precision.  The paper's observation: per-layer
+ranks fluctuate but the relative ordering is remarkably stable, justifying
+the run-50-iterations-then-freeze protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.dtypes import Precision
+from repro.common.rng import new_rng
+from repro.core.indicator import VarianceIndicator, gamma_for_loss
+from repro.experiments.base import ExperimentResult
+from repro.models import make_mini_model, mini_model_graph
+from repro.profiling.stats import StatsRecorder, install_recorder
+from repro.tensor import Tensor, functional as F
+from repro.train import SGD, Adam
+from repro.train.data import make_image_classification, make_token_classification
+
+
+def _rank_trace(model_name: str, iterations: int, precision: Precision,
+                seed: int = 0) -> tuple[list[str], list[dict[str, int]]]:
+    """Per-iteration relative ranks of every weighted adjustable op."""
+    model = make_mini_model(model_name, seed=seed)
+    dag = mini_model_graph(model_name, batch_size=16)
+    rng = new_rng(seed)
+    if model_name.startswith(("mini_bert", "mini_roberta")):
+        vocab = model.embed.table.shape[0]
+        ds = make_token_classification(n_train=512, n_test=32, vocab_size=vocab, seed=2)
+        opt = Adam(model, lr=2e-3)
+    else:
+        ds = make_image_classification(n_train=512, n_test=32, seed=2)
+        opt = SGD(model, lr=0.05, momentum=0.9)
+
+    gamma = gamma_for_loss("ce", 16)
+    traces: list[dict[str, int]] = []
+    ops: list[str] = []
+    batches = ds.batches(16, rng, epochs=max(1, iterations // (512 // 16) + 1))
+    for it, (xb, yb) in enumerate(batches):
+        if it >= iterations:
+            break
+        # Fresh recorder per iteration: instantaneous statistics, not the
+        # running mean (the figure traces per-update values).
+        recorder = StatsRecorder()
+        install_recorder(model, recorder)
+        opt.zero_grad()
+        x = xb if np.issubdtype(np.asarray(xb).dtype, np.integer) else Tensor(xb)
+        loss = F.cross_entropy(model(x), yb)
+        loss.backward()
+        opt.step()
+        indicator = VarianceIndicator(dag, recorder.snapshot(), gamma)
+        ranks = indicator.relative_ranks(precision)
+        ops = sorted(ranks)
+        traces.append(ranks)
+        # Remove instrumentation before the next iteration re-instruments.
+        from repro.tensor.qmodules import QuantizedOp
+
+        for path, mod in QuantizedOp.adjustable_modules(model).items():
+            mod.forward = type(mod).forward.__get__(mod)
+    return ops, traces
+
+
+def _stability(traces: list[dict[str, int]]) -> float:
+    """Mean Spearman correlation between consecutive iterations' rankings."""
+    from scipy.stats import spearmanr
+
+    ops = sorted(traces[0])
+    corrs = []
+    for a, b in zip(traces, traces[1:]):
+        ra = [a[o] for o in ops]
+        rb = [b[o] for o in ops]
+        corrs.append(spearmanr(ra, rb).statistic)
+    return float(np.mean(corrs))
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    iterations = 15 if quick else 45
+    rows = []
+    extras = {}
+    for display, model_name, precision in (
+        ("BERT", "mini_bert", Precision.FP16),
+        ("ResNet50", "mini_resnet", Precision.INT8),
+    ):
+        ops, traces = _rank_trace(model_name, iterations, precision)
+        stability = _stability(traces)
+        first = traces[0]
+        last = traces[-1]
+        from scipy.stats import spearmanr
+
+        first_last = float(
+            spearmanr([first[o] for o in ops], [last[o] for o in ops]).statistic
+        )
+        rows.append([
+            display, len(ops), iterations, f"{stability:.3f}", f"{first_last:.3f}",
+        ])
+        extras[f"{display}_trace"] = traces
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Relative indicator rank stability over early training updates",
+        headers=[
+            "Model", "ops", "iterations",
+            "consecutive-rank corr", "first-vs-last corr",
+        ],
+        rows=rows,
+        notes=(
+            "Shape to check: both correlations close to 1 — ranks fluctuate "
+            "but the ordering is stable, validating the paper's use of the "
+            "first-50-iteration running mean as a frozen indicator.  Raw "
+            "per-iteration rank trajectories in extras."
+        ),
+        extras=extras,
+    )

@@ -1,0 +1,232 @@
+"""Shared end-to-end protocol for Tables IV/V/VI.
+
+Splits each method's evaluation across the reproduction's two fidelity axes
+(DESIGN.md §4):
+
+* **throughput** — predicted by the Replayer on the production-scale graph
+  mirror (realistic shapes, datasheet-calibrated devices);
+* **accuracy** — measured by really training the executable mini model under
+  the method's precision plan / batch-size split, with the plan transferred
+  from the graph by operator name.
+
+Methods: ORACLE (all-FP32), DBS (FP32 + speed-proportional local batches),
+UP (uniform lowest-fitting precision on inference GPUs), QSYNC (allocator
+plan).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import dbs_batch_sizes, uniform_precision_plan
+from repro.common.dtypes import Precision
+from repro.core.indicator import VarianceIndicator, gamma_for_loss
+from repro.core.plan import PrecisionPlan
+from repro.core.qsync import build_replayer
+from repro.core.allocator import Allocator, AllocatorConfig
+from repro.hardware.cluster import Cluster
+from repro.models import make_mini_model, mini_model_graph
+from repro.parallel import DataParallelTrainer, WorkerConfig
+from repro.profiling import MemoryModel, collect_model_stats
+from repro.tensor import Tensor, functional as F
+from repro.train import Adam, SGD, Dataset
+
+#: Production-scale graph settings per mini model (shapes reach the regime
+#: where the paper's memory/throughput pressures are active).
+GRAPH_SCALE: dict[str, dict] = {
+    "mini_vgg": dict(width_scale=16, spatial_scale=4),
+    "mini_vggbn": dict(width_scale=16, spatial_scale=4),
+    "mini_resnet": dict(width_scale=24, spatial_scale=4),
+    "mini_bert": dict(width_scale=24, spatial_scale=8),
+    "mini_roberta": dict(width_scale=24, spatial_scale=8),
+}
+
+
+def find_pressure_batch(
+    model_name: str, device_memory: int, start: int = 64, cap: int = 4096
+) -> int:
+    """Smallest batch (on a ~1.2x ladder, 32-aligned) whose FP32 footprint
+    exceeds ``device_memory`` — the hybrid-training regime where the
+    inference GPU cannot hold the training GPU's configuration at full
+    precision, while lower precisions still fit.  The fine ladder matters:
+    overshooting would push even INT8 past ClusterB's cap."""
+    mm = MemoryModel()
+    batch = start
+    while batch <= cap:
+        dag = mini_model_graph(model_name, batch_size=batch, **GRAPH_SCALE[model_name])
+        if mm.estimate(dag).total > device_memory:
+            return batch
+        batch = int(-(-batch * 1.2 // 32) * 32)  # ceil to a multiple of 32
+    return cap
+
+
+@dataclasses.dataclass
+class MethodPlan:
+    """Everything a method needs to be trained and timed."""
+
+    name: str
+    #: Per-rank precision plans for the executable model (module paths).
+    plans: dict[int, dict[str, Precision]]
+    #: Per-rank local batch sizes for the executable run.
+    batch_sizes: list[int]
+    #: Predicted iterations/second at production scale.
+    throughput: float | None
+
+
+def prepare_methods(
+    model_name: str,
+    cluster: Cluster,
+    graph_batch: int,
+    exec_batch_per_worker: int,
+    stats: dict | None = None,
+    loss: str = "ce",
+    allocator_config: AllocatorConfig | None = None,
+) -> dict[str, MethodPlan]:
+    """Build ORACLE/DBS/UP/QSYNC plans + predicted throughputs."""
+    scale = GRAPH_SCALE[model_name]
+    builder = lambda: mini_model_graph(model_name, batch_size=graph_batch, **scale)
+    template = builder()
+    k = cluster.size
+    uniform_batches = [exec_batch_per_worker] * k
+
+    replayer, _ = build_replayer(builder, cluster, profile_repeats=2)
+
+    # ---- ORACLE: all FP32 everywhere (throughput not defined in-paper).
+    oracle = MethodPlan("ORACLE", {w.rank: {} for w in cluster.workers},
+                        uniform_batches, None)
+    fp32_sim = replayer.simulate()
+
+    # ---- DBS: FP32, local batches proportional to per-sample speed.
+    per_sample = [
+        fp32_sim.per_device_compute[w.rank] / graph_batch for w in cluster.workers
+    ]
+    global_exec = exec_batch_per_worker * k
+    dbs_batches = dbs_batch_sizes(global_exec, per_sample)
+    # Predicted iteration: balanced compute + the FP32 collective tail.
+    dbs_graph_batches = dbs_batch_sizes(graph_batch * k, per_sample)
+    dbs_compute = max(
+        t * b for t, b in zip(per_sample, dbs_graph_batches)
+    )
+    comm = sum(
+        cluster.allreduce_time(b.nbytes)
+        for b in replayer.mappers[0].build_local_dfg("x", 0).buckets
+    )
+    dbs_iter = dbs_compute + comm
+    dbs = MethodPlan("DBS", {w.rank: {} for w in cluster.workers},
+                     dbs_batches, 1.0 / dbs_iter)
+
+    # ---- UP: uniform lowest-fitting precision on inference workers.
+    up_plans: dict[int, dict[str, Precision]] = {}
+    graph_up: dict[int, dict[str, Precision]] = {}
+    for w in cluster.workers:
+        if w.is_inference:
+            gp = uniform_precision_plan(template, w.device)
+            graph_up[w.rank] = gp
+            up_plans[w.rank] = _weighted_only(template, gp)
+        else:
+            up_plans[w.rank] = {}
+    for rank, gp in graph_up.items():
+        replayer.apply_plan(rank, gp)
+    up_sim = replayer.simulate()
+    up = MethodPlan("UP", up_plans, uniform_batches, up_sim.throughput)
+    for rank in graph_up:  # restore FP32 before the allocator runs
+        replayer.apply_plan(rank, {op: Precision.FP32 for op in graph_up[rank]})
+
+    # ---- QSYNC: the allocator's quantization-minimized plan.
+    if stats is None:
+        stats = collect_executable_stats(model_name, loss=loss)
+    gamma = gamma_for_loss(loss, exec_batch_per_worker)
+    indicators = {}
+    for w in cluster.inference_workers:
+        if w.device.name not in indicators:
+            indicators[w.device.name] = VarianceIndicator(
+                replayer.dags[w.rank], stats, gamma
+            )
+    allocator = Allocator(replayer, indicators, config=allocator_config)
+    qs_plan, _qs_report = allocator.allocate()
+    qs_sim = replayer.simulate()
+    qs_plans: dict[int, dict[str, Precision]] = {}
+    for w in cluster.workers:
+        if w.is_inference:
+            gp = qs_plan.for_device(w.device.name)
+            qs_plans[w.rank] = _weighted_only(template, gp)
+        else:
+            qs_plans[w.rank] = {}
+    qsync = MethodPlan("QSync", qs_plans, uniform_batches, qs_sim.throughput)
+
+    return {"ORACLE": oracle, "DBS": dbs, "UP": up, "QSync": qsync}
+
+
+def _weighted_only(dag, graph_plan: dict[str, Precision]) -> dict[str, Precision]:
+    """Keep only weighted adjustable ops (installable module paths)."""
+    return {
+        op: prec
+        for op, prec in graph_plan.items()
+        if dag.spec(op).has_weight and prec is not Precision.FP32
+    }
+
+
+def collect_executable_stats(model_name: str, loss: str = "ce", iterations: int = 20):
+    """Profile indicator statistics on the executable mini model (the paper's
+    first-50-iterations running mean, at reduced batch)."""
+    from repro.common import new_rng
+    from repro.train.data import make_image_classification, make_token_classification
+
+    model = make_mini_model(model_name, seed=0)
+    rng = new_rng(1234)
+    if model_name.startswith(("mini_bert", "mini_roberta")):
+        vocab = model.embed.table.shape[0]
+        ds = make_token_classification(
+            n_train=512, n_test=32, vocab_size=vocab, seed=7
+        )
+    else:
+        ds = make_image_classification(n_train=512, n_test=32, seed=7)
+
+    def data_iter():
+        while True:
+            for xb, yb in ds.batches(16, rng, epochs=1):
+                yield xb if np.issubdtype(xb.dtype, np.integer) else Tensor(xb), yb
+
+    def loss_fn(m, x, y):
+        logits = m(x) if not isinstance(x, Tensor) else m(x)
+        return F.cross_entropy(logits, y)
+
+    return collect_model_stats(model, data_iter(), loss_fn, iterations=iterations)
+
+
+def run_method_training(
+    model_name: str,
+    method: MethodPlan,
+    cluster: Cluster,
+    dataset: Dataset,
+    epochs: int,
+    seed: int,
+    optimizer: str = "sgd",
+    lr: float = 0.05,
+    metric: str = "top1",
+) -> float:
+    """Train the executable model under one method's plan; returns accuracy."""
+    workers = [
+        WorkerConfig(
+            rank=w.rank,
+            device_name=w.device.name,
+            batch_size=method.batch_sizes[w.rank],
+            plan=method.plans[w.rank],
+        )
+        for w in cluster.workers
+    ]
+    if optimizer == "sgd":
+        opt_factory = lambda m: SGD(m, lr=lr, momentum=0.9)
+    else:
+        opt_factory = lambda m: Adam(m, lr=lr)
+    trainer = DataParallelTrainer(
+        model_factory=lambda s: make_mini_model(model_name, seed=s),
+        workers=workers,
+        optimizer_factory=opt_factory,
+        seed=seed,
+    )
+    result = trainer.train(dataset, epochs=epochs, metric=metric)
+    return result.final_accuracy

@@ -1,0 +1,36 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import fig4, fig6, fig7, fig8, table1, table2, table3
+from repro.experiments.table456 import run_table4, run_table5, run_table6
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "fig4": fig4.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def run_experiment(experiment_id: str, quick: bool = True, **kwargs) -> ExperimentResult:
+    """Run one experiment and return its result (printing is the caller's
+    job; see ``examples/`` and ``benchmarks/``)."""
+    return get_experiment(experiment_id)(quick=quick, **kwargs)

@@ -1,0 +1,54 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner table3
+    python -m repro.experiments.runner all --full
+    python -m repro.experiments.runner fig6 --show-extras
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate QSync's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full-scale protocol (more models/seeds/epochs; slow)",
+    )
+    parser.add_argument(
+        "--show-extras", action="store_true",
+        help="also print textual extras (timelines, traces)",
+    )
+    args = parser.parse_args(argv)
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for eid in ids:
+        if eid not in EXPERIMENTS:
+            parser.error(f"unknown experiment {eid!r}")
+        t0 = time.time()
+        result = run_experiment(eid, quick=not args.full)
+        print(result.formatted())
+        if args.show_extras:
+            for key, value in result.extras.items():
+                if isinstance(value, str):
+                    print(f"\n--- extras[{key}] ---\n{value}")
+        print(f"({time.time() - t0:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

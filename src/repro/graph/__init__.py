@@ -1,0 +1,22 @@
+"""Operator graphs.
+
+* :mod:`repro.graph.ops` — operator taxonomy: kinds, the precision-
+  adjustable (``O_adj``) vs precision-dependent (``O_dep``) vs fixed split
+  of Sec. IV-B, FLOP/byte accounting.
+* :mod:`repro.graph.dag` — the Precision DAG QSync maintains per device.
+* :mod:`repro.graph.subgraph` — repeated isomorphic-block detection used by
+  the Allocator's initial brute-force search (Sec. V).
+"""
+
+from repro.graph.ops import OpKind, OpCategory, OperatorSpec
+from repro.graph.dag import PrecisionDAG
+from repro.graph.subgraph import group_blocks, structural_signature
+
+__all__ = [
+    "OpKind",
+    "OpCategory",
+    "OperatorSpec",
+    "PrecisionDAG",
+    "group_blocks",
+    "structural_signature",
+]

@@ -1,0 +1,169 @@
+"""The Precision DAG.
+
+"For each GPU, QSync maintains a precision DAG that keeps the training model
+with operators' precision and its dependencies" (Sec. IV-B).  Built on
+networkx for its solid topological algorithms; all QSync-specific state
+(precision assignments, depth cache) lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.common.dtypes import Precision, parse_precision
+from repro.common.errors import GraphConsistencyError
+from repro.graph.ops import OpCategory, OperatorSpec
+
+
+class PrecisionDAG:
+    """A model's operator DAG with a precision per node.
+
+    Nodes are operator names; each holds an :class:`OperatorSpec` and a
+    :class:`Precision`.  The graph is validated to be a DAG with a unique
+    root (the input node) on :meth:`validate`.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+        self._depth_cache: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_op(
+        self,
+        spec: OperatorSpec,
+        inputs: Iterable[str] = (),
+        precision: Precision = Precision.FP32,
+    ) -> str:
+        """Insert an operator, wiring edges from its input ops."""
+        if spec.name in self._g:
+            raise GraphConsistencyError(f"duplicate operator name {spec.name!r}")
+        self._g.add_node(spec.name, spec=spec, precision=precision)
+        for src in inputs:
+            if src not in self._g:
+                raise GraphConsistencyError(
+                    f"operator {spec.name!r} references unknown input {src!r}"
+                )
+            self._g.add_edge(src, spec.name)
+        self._depth_cache = None
+        return spec.name
+
+    def copy(self) -> "PrecisionDAG":
+        out = PrecisionDAG()
+        out._g = self._g.copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    def __len__(self) -> int:
+        return len(self._g)
+
+    @property
+    def nx_graph(self) -> nx.DiGraph:
+        return self._g
+
+    def spec(self, name: str) -> OperatorSpec:
+        return self._g.nodes[name]["spec"]
+
+    def precision(self, name: str) -> Precision:
+        return self._g.nodes[name]["precision"]
+
+    def set_precision(self, name: str, precision) -> None:
+        self._g.nodes[name]["precision"] = parse_precision(precision)
+
+    def nodes(self) -> Iterator[str]:
+        return iter(self._g.nodes)
+
+    def predecessors(self, name: str) -> list[str]:
+        return list(self._g.predecessors(name))
+
+    def successors(self, name: str) -> list[str]:
+        return list(self._g.successors(name))
+
+    def topo_order(self) -> list[str]:
+        return list(nx.topological_sort(self._g))
+
+    def adjustable_ops(self) -> list[str]:
+        """Names of ``O_adj`` operators, in topological order."""
+        return [n for n in self.topo_order() if self.spec(n).is_adjustable]
+
+    def weighted_ops(self) -> list[str]:
+        return [n for n in self.topo_order() if self.spec(n).has_weight]
+
+    def precision_plan(self) -> dict[str, Precision]:
+        """Snapshot of current per-op precisions."""
+        return {n: self.precision(n) for n in self._g.nodes}
+
+    def apply_plan(self, plan: dict[str, Precision]) -> None:
+        for name, prec in plan.items():
+            self.set_precision(name, prec)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def root(self) -> str:
+        """The unique zero-in-degree node (the model input)."""
+        roots = [n for n in self._g.nodes if self._g.in_degree(n) == 0]
+        if len(roots) != 1:
+            raise GraphConsistencyError(f"expected 1 root, found {roots}")
+        return roots[0]
+
+    def depth(self, name: str) -> int:
+        """Distance from the root (``d_o`` in Proposition 3).
+
+        "The depth of an operator inside a model forward DAG is a measure of
+        its distance from the root node" — computed as the longest path from
+        the root so residual shortcuts don't shrink a deep op's depth.
+        """
+        if self._depth_cache is None:
+            root = self.root()
+            depths = {root: 0}
+            for node in self.topo_order():
+                if node == root:
+                    continue
+                preds = list(self._g.predecessors(node))
+                depths[node] = 1 + max(depths[p] for p in preds)
+            self._depth_cache = depths
+        return self._depth_cache[name]
+
+    def max_depth(self) -> int:
+        """``d_L``: depth of the deepest operator."""
+        return max(self.depth(n) for n in self._g.nodes)
+
+    def validate(self) -> None:
+        """Raise :class:`GraphConsistencyError` on structural problems."""
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise GraphConsistencyError("graph contains a cycle")
+        self.root()  # raises if not unique
+        sinks = [n for n in self._g.nodes if self._g.out_degree(n) == 0]
+        if not sinks:
+            raise GraphConsistencyError("graph has no sink")
+        # Dependent ops must trace back to at least one input.
+        if not nx.is_weakly_connected(self._g):
+            raise GraphConsistencyError("graph is not connected")
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def total_flops(self) -> float:
+        return float(
+            sum(self.spec(n).flops for n in self._g.nodes)
+        )
+
+    def total_weight_elems(self) -> int:
+        return int(sum(self.spec(n).weight_elems for n in self._g.nodes))
+
+    def summary(self) -> str:
+        """One-line description used in reports."""
+        n_adj = len(self.adjustable_ops())
+        return (
+            f"PrecisionDAG({len(self._g)} ops, {n_adj} adjustable, "
+            f"depth {self.max_depth()}, {self.total_flops()/1e9:.1f} GFLOPs/iter fwd)"
+        )

@@ -1,0 +1,48 @@
+"""Precision propagation rules.
+
+Shared by the Cost Mapper (latency), the memory model, and the ground-truth
+simulator:
+
+* :func:`output_precision` — kernel precision -> output tensor precision
+  (INT8 kernels emit FP32, footnote 3).
+* :func:`grad_precision` — kernel precision -> backward gradient format
+  (fixed-point kernels backpropagate in FP16, footnote 2).
+* :func:`effective_precisions` — resolve every node's *compute* precision:
+  dependent operators promote to the widest input (footnote 1's CUDA
+  type-promotion rule), cascading adjustable-op changes downstream.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import Precision
+from repro.graph.dag import PrecisionDAG
+from repro.graph.ops import OpCategory
+
+
+def output_precision(compute: Precision) -> Precision:
+    """Precision of an operator's output tensor given its kernel precision."""
+    if compute is Precision.INT8:
+        return Precision.FP32
+    return compute
+
+
+def grad_precision(compute: Precision) -> Precision:
+    """Format of the activation gradient an operator's backward produces."""
+    if compute is Precision.INT8:
+        return Precision.FP16
+    return compute
+
+
+def effective_precisions(dag: PrecisionDAG) -> dict[str, Precision]:
+    """Resolve every node's compute precision (dependent ops promote to the
+    widest input's output precision)."""
+    effective: dict[str, Precision] = {}
+    for name in dag.topo_order():
+        spec = dag.spec(name)
+        if spec.category is not OpCategory.DEPENDENT:
+            effective[name] = dag.precision(name)
+            continue
+        preds = dag.predecessors(name)
+        in_precs = [output_precision(effective[p]) for p in preds] or [Precision.FP32]
+        effective[name] = max(in_precs, key=lambda p: p.bits)
+    return effective

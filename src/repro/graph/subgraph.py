@@ -1,0 +1,69 @@
+"""Repeated-block detection for the Allocator's initial search.
+
+"Many DNN models contain repeating isomorphic building subgraphs which have
+much fewer precision-adjustable operators available compared with the entire
+graph" (Sec. V).  The model catalog labels every op with its structural block
+(``OperatorSpec.block``); this module groups ops by block and verifies that
+blocks claimed identical really are isomorphic via a structural signature
+(so a mislabelled builder fails loudly instead of silently producing a wrong
+brute-force space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+
+from repro.graph.dag import PrecisionDAG
+
+
+def structural_signature(dag: PrecisionDAG, block_ops: list[str]) -> str:
+    """Order-insensitive hash of a block's internal structure.
+
+    Captures, per op: kind, weight shape *sans batch effects*, category, and
+    the multiset of internal edges (by op kind pairs).  Two blocks with equal
+    signatures have the same adjustable-op layout, which is all the
+    brute-force initializer requires.
+    """
+    ops = sorted(block_ops)
+    index = {name: i for i, name in enumerate(ops)}
+    parts: list[str] = []
+    for name in ops:
+        spec = dag.spec(name)
+        parts.append(f"{spec.kind.value}|{spec.weight_shape}|{spec.category.value}")
+    edges = []
+    for name in ops:
+        for succ in dag.successors(name):
+            if succ in index:
+                edges.append(
+                    f"{dag.spec(name).kind.value}->{dag.spec(succ).kind.value}"
+                )
+    parts.extend(sorted(edges))
+    return hashlib.sha1("\n".join(parts).encode()).hexdigest()[:16]
+
+
+def group_blocks(dag: PrecisionDAG) -> dict[str, list[str]]:
+    """Block label -> member op names (topological order within block).
+
+    Unlabelled ops go into singleton pseudo-blocks named after themselves,
+    so every adjustable op is covered by exactly one block.
+    """
+    groups: dict[str, list[str]] = defaultdict(list)
+    for name in dag.topo_order():
+        spec = dag.spec(name)
+        label = spec.block if spec.block is not None else f"__solo__:{name}"
+        groups[label].append(name)
+    return dict(groups)
+
+
+def isomorphism_classes(dag: PrecisionDAG) -> dict[str, list[str]]:
+    """Signature -> list of block labels sharing that structure.
+
+    The Allocator brute-forces each *class* once and reuses the result for
+    every isomorphic block, which is what collapses BERT's search space from
+    3^73 to per-block enumerations (Sec. V).
+    """
+    classes: dict[str, list[str]] = defaultdict(list)
+    for label, ops in group_blocks(dag).items():
+        classes[structural_signature(dag, ops)].append(label)
+    return dict(classes)

@@ -1,0 +1,38 @@
+"""Hardware models: devices and clusters.
+
+The paper's testbeds (Sec. VII):
+
+* **ClusterA** — 2 training servers × 8 V100-32GB (300 GB/s interconnect)
+  + 2 inference servers × 8 T4-16GB (32 GB/s interconnect).
+* **ClusterB** — ClusterA with T4 memory capped at 30 % (partial sharing via
+  MPS, Fig. 2).
+
+:func:`make_cluster_a` / :func:`make_cluster_b` reproduce those topologies;
+device specs come from the same NVIDIA datasheets the paper cites.
+"""
+
+from repro.hardware.device import DeviceSpec, SharingMode
+from repro.hardware.presets import (
+    V100,
+    T4,
+    A10,
+    A100,
+    DEVICE_REGISTRY,
+    get_device,
+)
+from repro.hardware.cluster import Cluster, Worker, make_cluster_a, make_cluster_b
+
+__all__ = [
+    "DeviceSpec",
+    "SharingMode",
+    "V100",
+    "T4",
+    "A10",
+    "A100",
+    "DEVICE_REGISTRY",
+    "get_device",
+    "Cluster",
+    "Worker",
+    "make_cluster_a",
+    "make_cluster_b",
+]

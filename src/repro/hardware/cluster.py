@@ -1,0 +1,140 @@
+"""Cluster topology.
+
+A :class:`Cluster` is a set of :class:`Worker` s (device + rank) plus the
+interconnect model used to cost all-reduce.  The bottleneck bandwidth of a
+synchronous ring spanning both sub-clusters is the *minimum* link bandwidth
+along the ring — for ClusterA that is the inference servers' 32 GB/s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.common.units import GBPS
+from repro.hardware.device import DeviceSpec
+from repro.hardware.presets import T4, V100
+
+
+@dataclasses.dataclass(frozen=True)
+class Worker:
+    """One training process bound to one (possibly shared) GPU."""
+
+    rank: int
+    device: DeviceSpec
+    #: Bandwidth of this worker's NIC/switch path in bytes/s.
+    link_bandwidth: float
+
+    @property
+    def is_inference(self) -> bool:
+        return not self.device.is_training_gpu
+
+
+@dataclasses.dataclass(frozen=True)
+class Cluster:
+    """An ordered set of workers participating in one data-parallel job."""
+
+    name: str
+    workers: tuple[Worker, ...]
+    #: Per-message latency of a collective step (launch + network RTT).
+    collective_latency: float = 30e-6
+
+    def __post_init__(self) -> None:
+        ranks = [w.rank for w in self.workers]
+        if ranks != list(range(len(ranks))):
+            raise ValueError(f"worker ranks must be 0..n-1, got {ranks}")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    @property
+    def training_workers(self) -> tuple[Worker, ...]:
+        return tuple(w for w in self.workers if not w.is_inference)
+
+    @property
+    def inference_workers(self) -> tuple[Worker, ...]:
+        return tuple(w for w in self.workers if w.is_inference)
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Slowest link along the all-reduce ring."""
+        return min(w.link_bandwidth for w in self.workers)
+
+    def allreduce_time(self, nbytes: float) -> float:
+        """Ring all-reduce latency for one buffer of ``nbytes``.
+
+        Standard model: ``2 (K-1)/K * nbytes / bottleneck_bw`` plus per-step
+        latency ``2 (K-1) * alpha``.
+        """
+        k = self.size
+        if k <= 1:
+            return 0.0
+        bw_term = 2.0 * (k - 1) / k * nbytes / self.bottleneck_bandwidth
+        lat_term = 2.0 * (k - 1) * self.collective_latency
+        return bw_term + lat_term
+
+    def homogeneous_subsets(self) -> dict[str, list[Worker]]:
+        """Workers grouped by device name (the paper traces communication on
+        small homogeneous sub-sets first, Sec. IV-B)."""
+        groups: dict[str, list[Worker]] = {}
+        for w in self.workers:
+            groups.setdefault(w.device.name, []).append(w)
+        return groups
+
+    def describe(self) -> str:
+        parts = []
+        for name, ws in self.homogeneous_subsets().items():
+            parts.append(f"{len(ws)}x{name}")
+        return f"{self.name}[{' + '.join(parts)}]"
+
+
+# ---------------------------------------------------------------------------
+# presets
+# ---------------------------------------------------------------------------
+
+
+def _build(
+    name: str,
+    training: Iterable[tuple[DeviceSpec, float]],
+    inference: Iterable[tuple[DeviceSpec, float]],
+) -> Cluster:
+    workers = []
+    rank = 0
+    for dev, bw in training:
+        workers.append(Worker(rank=rank, device=dev, link_bandwidth=bw))
+        rank += 1
+    for dev, bw in inference:
+        workers.append(Worker(rank=rank, device=dev, link_bandwidth=bw))
+        rank += 1
+    return Cluster(name=name, workers=tuple(workers))
+
+
+def make_cluster_a(
+    n_training: int = 4, n_inference: int = 4
+) -> Cluster:
+    """ClusterA: V100 training servers (300 GB/s) + T4 inference (32 GB/s).
+
+    Defaults to a 4+4 slice; the paper's full testbed is 16+16 — pass larger
+    counts to reproduce it (the simulation cost is O(workers)).
+    """
+    return _build(
+        "ClusterA",
+        [(V100, 300 * GBPS)] * n_training,
+        [(T4, 32 * GBPS)] * n_inference,
+    )
+
+
+def make_cluster_b(
+    n_training: int = 4,
+    n_inference: int = 4,
+    memory_ratio: float = 0.3,
+) -> Cluster:
+    """ClusterB: ClusterA with T4s partially loaned (30 % by default)."""
+    shared_t4 = T4.with_sharing(memory_ratio)
+    return _build(
+        "ClusterB",
+        [(V100, 300 * GBPS)] * n_training,
+        [(shared_t4, 32 * GBPS)] * n_inference,
+    )

@@ -1,0 +1,90 @@
+"""Device presets.
+
+Calibrated to the NVIDIA datasheets the paper cites ([13], [14]) and Table I:
+
+========  ==========  ==========  =========  ======  ============
+GPU       FP32 TFLOPS FP16 TFLOPS INT8 TOPS  Memory  Bandwidth
+V100      15.7        125         —          32 GB   900 GB/s
+T4        8.1         65          130        16 GB   320 GB/s
+A10       31.2        125         250        24 GB   600 GB/s
+A100      19.5        312         624        40 GB   1555 GB/s
+========  ==========  ==========  =========  ======  ============
+
+FP16/INT8 numbers are tensor-core peaks; the realized fraction is decided by
+the LP-PyTorch autotuner (:mod:`repro.backend`), not here.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import Precision
+from repro.common.units import GB, GBPS, TFLOPS
+from repro.hardware.device import DeviceSpec
+
+V100 = DeviceSpec(
+    name="V100",
+    arch="sm70",
+    peak_flops={
+        Precision.FP32: 15.7 * TFLOPS,
+        Precision.FP16: 125.0 * TFLOPS,
+        # No INT8 tensor-op path (Table I marks it "/").
+    },
+    memory_bytes=32 * GB,
+    mem_bandwidth=900 * GBPS,
+    is_training_gpu=True,
+)
+
+T4 = DeviceSpec(
+    name="T4",
+    arch="sm75",
+    peak_flops={
+        Precision.FP32: 8.1 * TFLOPS,
+        Precision.FP16: 65.0 * TFLOPS,
+        Precision.INT8: 130.0 * TFLOPS,  # TOPS
+    },
+    memory_bytes=16 * GB,
+    mem_bandwidth=320 * GBPS,
+    is_training_gpu=False,
+)
+
+A10 = DeviceSpec(
+    name="A10",
+    arch="sm80",
+    peak_flops={
+        Precision.FP32: 31.2 * TFLOPS,
+        Precision.FP16: 125.0 * TFLOPS,
+        Precision.INT8: 250.0 * TFLOPS,
+    },
+    memory_bytes=24 * GB,
+    mem_bandwidth=600 * GBPS,
+    is_training_gpu=False,
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    arch="sm80",
+    peak_flops={
+        Precision.FP32: 19.5 * TFLOPS,
+        Precision.FP16: 312.0 * TFLOPS,
+        Precision.INT8: 624.0 * TFLOPS,
+    },
+    memory_bytes=40 * GB,
+    mem_bandwidth=1555 * GBPS,
+    is_training_gpu=True,
+)
+
+DEVICE_REGISTRY: dict[str, DeviceSpec] = {
+    "V100": V100,
+    "T4": T4,
+    "A10": A10,
+    "A100": A100,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a preset by (case-insensitive) name."""
+    key = name.upper()
+    if key not in DEVICE_REGISTRY:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICE_REGISTRY)}"
+        )
+    return DEVICE_REGISTRY[key]

@@ -1,0 +1,24 @@
+"""Synchronous data-parallel training over hybrid devices.
+
+* :mod:`repro.parallel.collective` — exact all-reduce numerics (gradient
+  averaging) + the ring cost model shared with :mod:`repro.hardware`.
+* :mod:`repro.parallel.ddp` — the hybrid mixed-precision DDP trainer: one
+  model replica per simulated worker, each with its own per-operator
+  precision plan and local batch, synchronized every step.  This is where
+  the paper's training semantics (Proposition 1's unbiasedness, BN's local
+  statistics, DBS's batch-size effects) actually execute.
+* :mod:`repro.parallel.timeline` — render Fig. 6-style stream waterfalls.
+"""
+
+from repro.parallel.collective import allreduce_average, allreduce_gradients
+from repro.parallel.ddp import DataParallelTrainer, WorkerConfig
+from repro.parallel.timeline import render_timeline, timeline_summary
+
+__all__ = [
+    "allreduce_average",
+    "allreduce_gradients",
+    "DataParallelTrainer",
+    "WorkerConfig",
+    "render_timeline",
+    "timeline_summary",
+]

@@ -1,0 +1,65 @@
+"""Collective communication numerics.
+
+The timing of collectives is modelled in :class:`repro.hardware.Cluster`;
+this module supplies the *numerics*: synchronous data-parallel training
+all-reduces (averages) gradients across replicas every step.  Weighted
+averaging supports Dynamic Batch Sizing, where workers contribute gradients
+computed over different local batch sizes and the correct aggregate weights
+each contribution by its sample count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def allreduce_average(
+    arrays: Sequence[np.ndarray], weights: Sequence[float] | None = None
+) -> np.ndarray:
+    """Weighted element-wise average of per-worker arrays.
+
+    Equivalent to ring all-reduce followed by division — done directly since
+    all replicas live in one process.  ``weights`` default to uniform.
+    """
+    if not arrays:
+        raise ValueError("allreduce needs at least one array")
+    shapes = {a.shape for a in arrays}
+    if len(shapes) != 1:
+        raise ValueError(f"mismatched shapes in allreduce: {shapes}")
+    if weights is None:
+        return np.mean(arrays, axis=0)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size != len(arrays) or np.any(w < 0) or w.sum() == 0:
+        raise ValueError("weights must be non-negative and sum > 0")
+    w = w / w.sum()
+    out = np.zeros_like(arrays[0])
+    for wi, arr in zip(w, arrays):
+        out += wi * arr
+    return out
+
+
+def allreduce_gradients(
+    models: Sequence, weights: Sequence[float] | None = None
+) -> None:
+    """Average ``.grad`` across replicas, in place, parameter by parameter.
+
+    All models must have identical parameter trees (same names/shapes) —
+    the synchronous data-parallel invariant.
+    """
+    named = [dict(m.named_parameters()) for m in models]
+    keys = set(named[0])
+    for other in named[1:]:
+        if set(other) != keys:
+            raise ValueError("replicas have mismatched parameter trees")
+    for key in keys:
+        grads = []
+        for params in named:
+            p = params[key]
+            if p.grad is None:
+                raise ValueError(f"replica missing gradient for {key!r}")
+            grads.append(p.grad)
+        avg = allreduce_average(grads, weights)
+        for params in named:
+            params[key].grad = avg.copy()

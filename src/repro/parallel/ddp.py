@@ -1,0 +1,159 @@
+"""Hybrid mixed-precision synchronous data-parallel training.
+
+One :class:`DataParallelTrainer` owns K model replicas (one per simulated
+worker).  Each step:
+
+1. every worker runs forward/backward on its *local* batch under its *own*
+   per-operator precision plan (quantization noise streams are worker-
+   independent — Proposition 1's unbiasedness then makes the averaged
+   gradient unbiased);
+2. gradients are all-reduced (weighted by local batch size, which matters
+   for Dynamic Batch Sizing);
+3. every worker's optimizer applies the identical averaged gradient, so
+   replicas stay bit-identical in their FP32 master weights.
+
+BatchNorm running statistics are intentionally **not** synchronized (the
+paper discusses sync-BN as a costly alternative, Sec. II-A); evaluation uses
+worker 0's statistics, reproducing the DBS degradation mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.common.dtypes import Precision
+from repro.common.rng import derive_seed, spawn_rngs
+from repro.parallel.collective import allreduce_gradients
+from repro.tensor import Tensor, functional as F
+from repro.tensor.modules import Module
+from repro.tensor.qmodules import QuantizedOp
+from repro.train.data import Dataset
+from repro.train.loop import TrainResult, evaluate
+from repro.train.optim import Optimizer
+
+
+@dataclasses.dataclass
+class WorkerConfig:
+    """One simulated worker's training identity."""
+
+    rank: int
+    device_name: str
+    batch_size: int
+    #: Module path -> precision (missing = FP32).
+    plan: dict[str, Precision] = dataclasses.field(default_factory=dict)
+    rounding: str = "stochastic"
+
+
+class DataParallelTrainer:
+    """Synchronous DDP across heterogeneous (simulated) workers.
+
+    Parameters
+    ----------
+    model_factory:
+        ``(seed) -> Module``; every replica is built with the same seed and
+        then force-synchronized from replica 0's state.
+    workers:
+        Per-worker configs (batch size, precision plan).
+    optimizer_factory:
+        ``(model) -> Optimizer``; one optimizer per replica (their updates
+        coincide because gradients do).
+    seed:
+        Master seed; per-worker quantization-noise streams derive from it.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[int], Module],
+        workers: list[WorkerConfig],
+        optimizer_factory: Callable[[Module], Optimizer],
+        seed: int = 0,
+    ) -> None:
+        if not workers:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.seed = seed
+        self.replicas: list[Module] = [model_factory(seed) for _ in workers]
+        state = self.replicas[0].state_arrays()
+        for replica in self.replicas[1:]:
+            replica.load_state_arrays(state)
+        for cfg, replica in zip(workers, self.replicas):
+            QuantizedOp.install_plan(
+                replica,
+                cfg.plan,
+                seed=derive_seed(seed, "worker", cfg.rank),
+                rounding=cfg.rounding,
+            )
+        self.optimizers = [optimizer_factory(m) for m in self.replicas]
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_sizes(self) -> list[int]:
+        return [w.batch_size for w in self.workers]
+
+    def step(self, shards: list[tuple[np.ndarray, np.ndarray]]) -> float:
+        """One synchronous training step; returns the mean loss."""
+        if len(shards) != len(self.replicas):
+            raise ValueError(
+                f"{len(shards)} shards for {len(self.replicas)} workers"
+            )
+        losses = []
+        for (xb, yb), replica, opt in zip(shards, self.replicas, self.optimizers):
+            opt.zero_grad()
+            if np.issubdtype(np.asarray(xb).dtype, np.integer):
+                logits = replica(xb)
+            else:
+                logits = replica(Tensor(xb))
+            loss = F.cross_entropy(logits, yb)
+            loss.backward()
+            losses.append(loss.item())
+        allreduce_gradients(self.replicas, weights=[float(b) for b in self.batch_sizes])
+        for opt in self.optimizers:
+            opt.step()
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        dataset: Dataset,
+        epochs: int,
+        metric: str = "top1",
+        scheduler_factory=None,
+        eval_replica: int = 0,
+    ) -> TrainResult:
+        """Full training run; evaluates after each epoch on one replica."""
+        rng = np.random.default_rng(derive_seed(self.seed, "data"))
+        schedulers = (
+            [scheduler_factory(opt) for opt in self.optimizers]
+            if scheduler_factory
+            else []
+        )
+        losses: list[float] = []
+        history: list[float] = []
+        for _ in range(epochs):
+            for shards in dataset.shard_batches(self.batch_sizes, rng, epochs=1):
+                losses.append(self.step(shards))
+                for sch in schedulers:
+                    sch.step()
+            history.append(
+                evaluate(self.replicas[eval_replica], dataset, metric=metric)
+            )
+        return TrainResult(
+            final_accuracy=history[-1] if history else 0.0,
+            best_accuracy=max(history) if history else 0.0,
+            history=history,
+            losses=losses,
+        )
+
+    # ------------------------------------------------------------------
+    def replicas_synchronized(self) -> bool:
+        """True iff all replicas' master weights are bit-identical —
+        the synchronous-training invariant, property-tested."""
+        ref = self.replicas[0].state_arrays()
+        for replica in self.replicas[1:]:
+            for name, arr in replica.state_arrays().items():
+                if not np.array_equal(ref[name], arr):
+                    return False
+        return True

@@ -1,0 +1,58 @@
+"""Timeline rendering — Fig. 6's CUDA/COMM waterfall as text.
+
+The paper's Fig. 6 shows per-device CUDA and COMM stream occupancy for
+uniform precision vs QSync, highlighting the waiting-time saving.  This
+module renders :class:`TimelineEvent` lists as fixed-width ASCII waterfalls
+and computes the waiting-time statistics quoted in the caption.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.replayer import SimulationResult, TimelineEvent
+
+
+def render_timeline(
+    events: list[TimelineEvent], width: int = 80, merge_ranks: bool = True
+) -> str:
+    """ASCII waterfall: one row per (device, stream), time left to right.
+
+    ``#`` = busy, ``.`` = idle.  Same-device ranks are merged onto one row
+    pair (they execute near-identically) unless ``merge_ranks=False``.
+    """
+    if not events:
+        return "(empty timeline)"
+    t_end = max(e.end for e in events)
+    if t_end <= 0:
+        return "(zero-length timeline)"
+    rows: dict[tuple, list[TimelineEvent]] = defaultdict(list)
+    for e in events:
+        key = (e.device, e.stream) if merge_ranks else (f"{e.device}#{e.rank}", e.stream)
+        rows[key].append(e)
+
+    lines = [f"timeline: {t_end * 1e3:.2f} ms total, '#'=busy '.'=idle"]
+    for (device, stream), evs in sorted(rows.items()):
+        cells = ["."] * width
+        for e in evs:
+            lo = int(e.start / t_end * (width - 1))
+            hi = max(int(e.end / t_end * (width - 1)), lo)
+            for i in range(lo, hi + 1):
+                cells[i] = "#"
+        label = f"{device:>8s}/{stream:<4s}"
+        lines.append(f"{label} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def timeline_summary(sim: SimulationResult) -> dict[str, float]:
+    """Waiting-time statistics of a simulated iteration.
+
+    ``wait`` per device = time between local compute finishing and the last
+    collective completing — the synchronization bubble QSync shrinks.
+    """
+    waits = sim.comm_wait_time
+    return {
+        "iteration_ms": sim.iteration_time * 1e3,
+        "max_wait_ms": max(waits.values()) * 1e3 if waits else 0.0,
+        "total_wait_ms": sum(waits.values()) * 1e3 if waits else 0.0,
+    }

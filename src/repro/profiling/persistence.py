@@ -1,0 +1,69 @@
+"""Profile persistence.
+
+The paper's workflow profiles on the target hardware once, then replays and
+allocates offline.  These helpers serialize the profiling artifacts —
+operator cost catalogs and precision plans — to plain JSON so a planning
+session can run on a different machine (or later) without re-measuring.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.dtypes import parse_precision
+from repro.core.plan import PrecisionPlan
+from repro.profiling.profiler import OperatorCost, OperatorCostCatalog
+
+
+def catalog_to_dict(catalog: OperatorCostCatalog) -> dict:
+    """JSON-able representation of a cost catalog."""
+    return {
+        "device": catalog.device_name,
+        "input_elems": dict(catalog._input_elems),
+        "costs": [
+            {
+                "op": op,
+                "precision": prec.value,
+                "forward": cost.forward,
+                "backward": cost.backward,
+            }
+            for (op, prec), cost in catalog._costs.items()
+        ],
+    }
+
+
+def catalog_from_dict(data: dict) -> OperatorCostCatalog:
+    """Inverse of :func:`catalog_to_dict`."""
+    catalog = OperatorCostCatalog(data["device"])
+    catalog._input_elems.update(
+        {op: int(v) for op, v in data.get("input_elems", {}).items()}
+    )
+    for entry in data["costs"]:
+        catalog.put(
+            entry["op"],
+            parse_precision(entry["precision"]),
+            OperatorCost(forward=float(entry["forward"]),
+                         backward=float(entry["backward"])),
+        )
+    return catalog
+
+
+def save_catalog(catalog: OperatorCostCatalog, path: str | Path) -> None:
+    """Write a catalog to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(catalog_to_dict(catalog), indent=1))
+
+
+def load_catalog(path: str | Path) -> OperatorCostCatalog:
+    """Read a catalog previously written by :func:`save_catalog`."""
+    return catalog_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_plan(plan: PrecisionPlan, path: str | Path) -> None:
+    """Write a precision plan to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(plan.to_dict(), indent=1))
+
+
+def load_plan(path: str | Path) -> PrecisionPlan:
+    """Read a plan previously written by :func:`save_plan`."""
+    return PrecisionPlan.from_dict(json.loads(Path(path).read_text()))

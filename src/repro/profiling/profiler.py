@@ -1,0 +1,104 @@
+"""Operator cost catalogs (workflow step 2, "Operator Cost").
+
+For every operator of a model DAG and every precision its kernels exist at,
+the profiler runs repeated backend measurements and stores the mean forward
+and backward latency.  The Replayer later *looks these up* (the ``CC_i`` of
+Algorithm 1) instead of re-measuring — mirroring how the paper profiles once
+on the target hardware and replays offline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.common.dtypes import Precision
+from repro.graph.dag import PrecisionDAG
+from repro.graph.ops import OperatorSpec
+from repro.backend.lp_backend import LPBackend
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatorCost:
+    """Mean measured latencies of one (operator, precision) pair."""
+
+    forward: float
+    backward: float
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward
+
+
+class OperatorCostCatalog:
+    """``(op name, precision) -> OperatorCost`` for one device."""
+
+    def __init__(self, device_name: str) -> None:
+        self.device_name = device_name
+        self._costs: dict[tuple[str, Precision], OperatorCost] = {}
+        self._input_elems: dict[str, int] = {}
+
+    def put(self, op: str, precision: Precision, cost: OperatorCost) -> None:
+        self._costs[(op, precision)] = cost
+
+    def get(self, op: str, precision: Precision) -> OperatorCost:
+        key = (op, precision)
+        if key not in self._costs:
+            raise KeyError(
+                f"no profile for op {op!r} at {precision.value} on "
+                f"{self.device_name}"
+            )
+        return self._costs[key]
+
+    def has(self, op: str, precision: Precision) -> bool:
+        return (op, precision) in self._costs
+
+    def input_elems(self, op: str) -> int:
+        return self._input_elems.get(op, 0)
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+
+def _op_input_elems(dag: PrecisionDAG, name: str) -> int:
+    """Total elements flowing into an op = sum of predecessors' outputs."""
+    preds = dag.predecessors(name)
+    if not preds:
+        return 0
+    return int(sum(dag.spec(p).output_elems for p in preds))
+
+
+def profile_operator_costs(
+    dag: PrecisionDAG,
+    backend: LPBackend,
+    repeats: int = 3,
+) -> OperatorCostCatalog:
+    """Measure every op at every device-supported precision it has kernels
+    for; average ``repeats`` noisy samples per entry."""
+    catalog = OperatorCostCatalog(backend.device.name)
+    for name in dag.topo_order():
+        spec: OperatorSpec = dag.spec(name)
+        input_elems = _op_input_elems(dag, name)
+        catalog._input_elems[name] = input_elems
+        for precision in spec.supported_precisions():
+            if not backend.device.supports(precision):
+                continue
+            fwd = float(
+                np.mean(
+                    [
+                        backend.measure_op_forward(spec, precision, input_elems, rep=r)
+                        for r in range(repeats)
+                    ]
+                )
+            )
+            bwd = float(
+                np.mean(
+                    [
+                        backend.measure_op_backward(spec, precision, input_elems, rep=r)
+                        for r in range(repeats)
+                    ]
+                )
+            )
+            catalog.put(name, precision, OperatorCost(forward=fwd, backward=bwd))
+    return catalog

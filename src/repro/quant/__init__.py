@@ -1,0 +1,42 @@
+"""Quantization substrate.
+
+Implements the arithmetic QSync's theory is built on:
+
+* :mod:`repro.quant.stochastic` — unbiased stochastic rounding (SR), the
+  Unbiased Quantizer of Sec. IV-A.
+* :mod:`repro.quant.fixed_point` — INT-b quantization with scale/zero-point,
+  layer-wise and channel-wise granularity (Sec. IV-B).
+* :mod:`repro.quant.floating_point` — FP-(e,m) simulation by exponent
+  clamping + mantissa truncation with SR (Proposition 2 / Appendix A-2).
+* :mod:`repro.quant.variance` — the closed-form quantization variances of
+  Proposition 2 and effective-bit estimation.
+"""
+
+from repro.quant.stochastic import stochastic_round, floor_round, nearest_round
+from repro.quant.fixed_point import (
+    FixedPointQuantizer,
+    QuantizedTensor,
+    Granularity,
+)
+from repro.quant.floating_point import FloatingPointQuantizer, simulate_cast
+from repro.quant.variance import (
+    fixed_point_variance,
+    floating_point_variance,
+    effective_exponent,
+    quantization_mse,
+)
+
+__all__ = [
+    "stochastic_round",
+    "floor_round",
+    "nearest_round",
+    "FixedPointQuantizer",
+    "QuantizedTensor",
+    "Granularity",
+    "FloatingPointQuantizer",
+    "simulate_cast",
+    "fixed_point_variance",
+    "floating_point_variance",
+    "effective_exponent",
+    "quantization_mse",
+]

@@ -1,0 +1,159 @@
+"""Fixed-point (integer) quantization.
+
+Implements the scheme of Sec. IV: for a scalar ``x``,
+
+.. math::
+
+    \\bar x = (x - z_x) / q_x, \\qquad
+    \\hat x = \\lceil \\bar x \\rfloor \\times q_x + z_x
+
+with zero-point ``z_x``, scale ``q_x`` and stochastic rounding
+``\\lceil\\cdot\\rfloor``.  Two granularities are supported (Sec. IV-B):
+
+* **layer-wise** — one (scale, zero-point) pair per tensor;
+* **channel-wise** — one pair per output channel (axis 0), the scheme used
+  for weights in the paper's kernel discussion.
+
+The dequantization pairing rules of Sec. IV-B (layer-wise input ×
+channel-wise weight ⇒ channel-wise dequantizer, …) are encoded in
+:func:`dequant_granularity`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro.quant.stochastic import ROUNDING_MODES
+
+
+class Granularity(enum.Enum):
+    """Scale/zero-point sharing granularity."""
+
+    LAYER = "layer"
+    CHANNEL = "channel"
+
+
+def dequant_granularity(a: Granularity, b: Granularity) -> Granularity:
+    """Granularity of the dequantizer combining two quantized operands.
+
+    Per Sec. IV-B: if either operand is channel-wise the product's scale
+    varies per channel, so a channel-wise dequantizer is required; only a
+    layer-wise × layer-wise pairing admits the cheaper layer-wise dequantizer.
+    """
+    if a is Granularity.CHANNEL or b is Granularity.CHANNEL:
+        return Granularity.CHANNEL
+    return Granularity.LAYER
+
+
+@dataclasses.dataclass
+class QuantizedTensor:
+    """An integer-grid tensor together with its affine mapping back to reals.
+
+    ``values`` are stored as float64 holding exact integers in
+    ``[0, 2**bits - 1]`` (numpy integer dtypes would force copies at every
+    matmul; keeping floats avoids that while remaining exact for b <= 24).
+    """
+
+    values: np.ndarray
+    scale: np.ndarray  # scalar array (layer) or per-channel column (channel)
+    zero_point: np.ndarray
+    bits: int
+    granularity: Granularity
+
+    def dequantize(self) -> np.ndarray:
+        """Map back to real values: ``q * values + z``."""
+        return self.values * self.scale + self.zero_point
+
+    @property
+    def nbytes(self) -> int:
+        """Storage cost at the integer bit width."""
+        return int(self.values.size * self.bits // 8)
+
+
+class FixedPointQuantizer:
+    """Affine fixed-point quantizer with selectable rounding and granularity.
+
+    Parameters
+    ----------
+    bits:
+        Integer bit width (8 for the paper's INT8 kernels; the theory and
+        tests also exercise 4/6/16).
+    granularity:
+        :class:`Granularity` of the scale/zero-point.
+    rounding:
+        ``"stochastic"`` (default; unbiased — Proposition 1), ``"floor"`` or
+        ``"nearest"`` for the §VIII ablation.
+    """
+
+    def __init__(
+        self,
+        bits: int = 8,
+        granularity: Granularity = Granularity.LAYER,
+        rounding: str = "stochastic",
+    ) -> None:
+        if bits < 2 or bits > 24:
+            raise ValueError(f"unsupported fixed-point bit width {bits}")
+        if rounding not in ROUNDING_MODES:
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+        self.bits = bits
+        self.granularity = granularity
+        self.rounding = rounding
+        self._round = ROUNDING_MODES[rounding]
+
+    # ------------------------------------------------------------------
+    def _minmax(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-granularity minimum/maximum (the MinMax kernel's job)."""
+        if self.granularity is Granularity.LAYER:
+            return np.min(x, keepdims=True), np.max(x, keepdims=True)
+        # Channel-wise: axis 0 is the output-channel axis; reduce the rest.
+        reduce_axes = tuple(range(1, x.ndim))
+        lo = np.min(x, axis=reduce_axes, keepdims=True)
+        hi = np.max(x, axis=reduce_axes, keepdims=True)
+        return lo, hi
+
+    def compute_qparams(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Scale ``q_x`` and zero-point ``z_x`` from the data range.
+
+        ``q = (max - min) / (2**b - 1)``; degenerate (constant) slices get
+        ``q = 1`` so quantization is exact rather than dividing by zero.
+        """
+        lo, hi = self._minmax(x)
+        levels = float(2**self.bits - 1)
+        scale = (hi - lo) / levels
+        scale = np.where(scale <= 0.0, 1.0, scale)
+        return scale, lo
+
+    def quantize(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> QuantizedTensor:
+        """Quantize ``x`` onto the integer grid.
+
+        The returned values are clipped to ``[0, 2**b - 1]`` — only relevant
+        for stochastic rounding at the extreme grid points.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        scale, zero = self.compute_qparams(x)
+        scaled = (x - zero) / scale
+        q = self._round(scaled, rng)
+        np.clip(q, 0.0, float(2**self.bits - 1), out=q)
+        return QuantizedTensor(
+            values=q,
+            scale=scale,
+            zero_point=zero,
+            bits=self.bits,
+            granularity=self.granularity,
+        )
+
+    def fake_quantize(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Quantize-dequantize round trip ``x -> x_hat``.
+
+        This is how the training engine injects INT-b noise into a
+        floating-point compute path (the paper's kernels dequantize INT32
+        accumulators back to FP — numerically the same composition).
+        """
+        return self.quantize(x, rng).dequantize()

@@ -1,0 +1,54 @@
+"""Rounding primitives.
+
+QSync quantizes with **stochastic rounding** (SR): a value ``x`` rounds up
+with probability equal to its fractional part, which makes the quantizer
+unbiased — ``E[SR(x)] = x`` — the property Proposition 1 relies on to prove
+unbiased gradients.  The paper's §VIII also observes that plain flooring can
+work in practice, so :func:`floor_round` is provided for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def stochastic_round(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Round each element of ``x`` to an adjacent integer, unbiasedly.
+
+    ``SR(x) = floor(x) + Bernoulli(x - floor(x))``.  Vectorized: one uniform
+    draw per element, no Python loops (hot path — called on every quantized
+    forward/backward).
+
+    Parameters
+    ----------
+    x:
+        Array of values scaled into "integer grid" units.
+    rng:
+        Source of randomness; callers must pass their device-local stream.
+
+    Returns
+    -------
+    Array of the same shape with integer-valued floats.
+    """
+    floor = np.floor(x)
+    residual = x - floor
+    return floor + (rng.random(x.shape) < residual)
+
+
+def floor_round(x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Deterministic flooring; biased, for the §VIII rounding ablation."""
+    return np.floor(x)
+
+
+def nearest_round(x: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Round-to-nearest-even; biased, the classic deterministic scheme."""
+    return np.rint(x)
+
+
+#: Registry used by quantizers so the rounding scheme is a string-selectable
+#: configuration (exercised by the rounding ablation bench).
+ROUNDING_MODES = {
+    "stochastic": stochastic_round,
+    "floor": floor_round,
+    "nearest": nearest_round,
+}

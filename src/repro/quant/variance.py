@@ -1,0 +1,96 @@
+"""Closed-form quantization variances (Proposition 2) and effective bits.
+
+These formulas are what the Indicator (Sec. IV-A) consumes:
+
+* fixed-point:    ``Var[x_hat] = q_x**2 * D_x / 6``
+* floating-point: ``Var[x_hat] = 2**(2e) * eps**2 * D_x / 6``,  ``eps = 2**-k``
+
+where ``D_x`` is the number of elements.  The ``/6`` comes from stochastic
+rounding residuals ``sigma ~ Uniform(0, 1)``: ``E[sigma * (1 - sigma)] = 1/6``
+(Appendix A-2).  Property tests check the Monte-Carlo variance of the actual
+quantizers against these expressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.dtypes import Precision
+
+
+def fixed_point_variance(scale: np.ndarray | float, dims: int) -> float:
+    """Total quantization variance of an SR fixed-point cast.
+
+    Parameters
+    ----------
+    scale:
+        Quantizer scale ``q_x`` — scalar for layer-wise, array for
+        channel-wise (summed per-channel contributions).
+    dims:
+        ``D_x``, the tensor's element count (per scale entry when ``scale``
+        is an array).
+    """
+    scale = np.asarray(scale, dtype=np.float64)
+    if scale.size == 1:
+        return float(scale.reshape(-1)[0] ** 2 * dims / 6.0)
+    # Channel-wise: dims elements spread evenly across channels.
+    per_channel = dims / scale.size
+    return float(np.sum(scale.reshape(-1) ** 2) * per_channel / 6.0)
+
+
+def floating_point_variance(
+    effective_exp: float, mantissa_bits: int, dims: int
+) -> float:
+    """Total variance of an SR mantissa-truncation cast (Proposition 2)."""
+    eps = 2.0 ** (-mantissa_bits)
+    return float(2.0 ** (2.0 * effective_exp) * eps**2 * dims / 6.0)
+
+
+def effective_exponent(x: np.ndarray) -> float:
+    """Effective exponent ``e`` of a tensor, from its magnitude.
+
+    The paper derives effective bits "with the data's magnitude (maximum and
+    minimum)"; we use ``floor(log2(max |x|))``, the exponent of the largest
+    normal-form element, which upper-bounds every element's exponent and thus
+    the per-element variance term ``2**(2e)``.
+    Zero tensors get the most negative finite exponent so their variance
+    contribution is ~0 rather than NaN.
+    """
+    mag = float(np.max(np.abs(x))) if np.asarray(x).size else 0.0
+    if mag == 0.0 or not np.isfinite(mag):
+        return -126.0
+    return float(np.floor(np.log2(mag)))
+
+
+def quantization_mse(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Mean squared error between a tensor and its quantized image.
+
+    Used by the HAWQ-style Hessian baseline ("... times the introduced error
+    of the quantization", Sec. VII-A1).
+    """
+    diff = np.asarray(original, dtype=np.float64) - np.asarray(
+        quantized, dtype=np.float64
+    )
+    return float(np.mean(diff**2))
+
+
+def theoretical_variance_for(
+    x: np.ndarray, precision: Precision, scale: np.ndarray | float | None = None
+) -> float:
+    """Dispatch Proposition 2 by precision for an actual tensor.
+
+    Convenience used by the Indicator: FP32 contributes zero variance, FP16
+    uses the tensor's effective exponent, INT8 needs the quantizer ``scale``.
+    """
+    x = np.asarray(x)
+    if precision is Precision.FP32:
+        return 0.0
+    if precision is Precision.FP16:
+        return floating_point_variance(
+            effective_exponent(x), precision.stochastic_mantissa_bits, x.size
+        )
+    if precision is Precision.INT8:
+        if scale is None:
+            raise ValueError("fixed-point variance requires the quantizer scale")
+        return fixed_point_variance(scale, x.size)
+    raise ValueError(f"unhandled precision {precision}")

@@ -1,0 +1,82 @@
+"""Training loops: single-worker reference and evaluation helpers.
+
+The multi-worker (DDP) loop lives in :mod:`repro.parallel.ddp`; this module
+provides the ORACLE path (plain FP32 single-stream training on the full
+global batch semantics) and shared evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor.modules import Module
+from repro.train.data import Dataset
+from repro.train.metrics import f1_macro, top1_accuracy
+from repro.train.optim import Optimizer
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    final_accuracy: float
+    best_accuracy: float
+    history: list[float]
+    losses: list[float]
+
+
+def _forward(model: Module, x: np.ndarray) -> Tensor:
+    if np.issubdtype(np.asarray(x).dtype, np.integer):
+        return model(x)  # token models take raw integer arrays
+    return model(Tensor(x))
+
+
+def evaluate(
+    model: Module, dataset: Dataset, metric: str = "top1", batch_size: int = 128
+) -> float:
+    """Accuracy of ``model`` on the test split."""
+    model.eval()
+    fn = top1_accuracy if metric == "top1" else f1_macro
+    logits_all = []
+    with no_grad():
+        for start in range(0, len(dataset.test_y), batch_size):
+            xb = dataset.test_x[start : start + batch_size]
+            logits_all.append(_forward(model, xb).numpy())
+    model.train()
+    logits = np.concatenate(logits_all, axis=0)
+    return fn(logits, dataset.test_y)
+
+
+def train_single(
+    model: Module,
+    dataset: Dataset,
+    optimizer: Optimizer,
+    epochs: int,
+    batch_size: int,
+    seed: int = 0,
+    metric: str = "top1",
+    scheduler=None,
+) -> TrainResult:
+    """Plain single-worker training (the ORACLE configuration)."""
+    rng = np.random.default_rng(seed)
+    losses: list[float] = []
+    history: list[float] = []
+    for epoch in range(epochs):
+        for xb, yb in dataset.batches(batch_size, rng, epochs=1):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(_forward(model, xb), yb)
+            loss.backward()
+            optimizer.step()
+            if scheduler is not None:
+                scheduler.step()
+            losses.append(loss.item())
+        history.append(evaluate(model, dataset, metric=metric))
+    return TrainResult(
+        final_accuracy=history[-1] if history else 0.0,
+        best_accuracy=max(history) if history else 0.0,
+        history=history,
+        losses=losses,
+    )

@@ -1,0 +1,26 @@
+"""Evaluation metrics: top-1 accuracy and macro F1 (the paper reports top-1
+for classification and F1 for fine-tuning, calling both "accuracy")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    preds = np.argmax(logits, axis=-1)
+    return float(np.mean(preds == np.asarray(labels)))
+
+
+def f1_macro(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Macro-averaged F1 over the classes present in ``labels``."""
+    preds = np.argmax(logits, axis=-1)
+    labels = np.asarray(labels)
+    scores = []
+    for cls in np.unique(labels):
+        tp = float(np.sum((preds == cls) & (labels == cls)))
+        fp = float(np.sum((preds == cls) & (labels != cls)))
+        fn = float(np.sum((preds != cls) & (labels == cls)))
+        denom = 2 * tp + fp + fn
+        scores.append(2 * tp / denom if denom > 0 else 0.0)
+    return float(np.mean(scores))

@@ -1,0 +1,73 @@
+"""Learning-rate schedules.
+
+The paper stresses that all compared methods share "the same basic training
+configurations (such as the total number of epochs, and the learning rate
+scheduler)" — these schedules are those shared configurations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.train.optim import Optimizer
+
+
+class _Schedule:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        self.optimizer.lr = self.lr_at(self._step)
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CosineSchedule(_Schedule):
+    """Cosine decay to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        t = min(step / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * t))
+
+
+class StepSchedule(_Schedule):
+    """Multiply lr by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, optimizer: Optimizer, period: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.period)
+
+
+class WarmupSchedule(_Schedule):
+    """Linear warmup into a wrapped schedule (or constant lr)."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, after: _Schedule | None = None):
+        super().__init__(optimizer)
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.warmup_steps = warmup_steps
+        self.after = after
+
+    def lr_at(self, step: int) -> float:
+        if step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        if self.after is not None:
+            return self.after.lr_at(step - self.warmup_steps)
+        return self.base_lr

@@ -1,0 +1,146 @@
+"""Unit tests for repro.common: dtypes, units, rng, errors."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    GB,
+    MB,
+    Precision,
+    PRECISION_ORDER,
+    bytes_to_gb,
+    bytes_to_mb,
+    higher_precision,
+    lower_precision,
+    new_rng,
+    parse_precision,
+    seconds_to_ms,
+    spawn_rngs,
+)
+from repro.common.rng import derive_seed
+
+
+class TestPrecision:
+    def test_bits(self):
+        assert Precision.INT8.bits == 8
+        assert Precision.FP16.bits == 16
+        assert Precision.FP32.bits == 32
+
+    def test_nbytes(self):
+        assert Precision.INT8.nbytes == 1
+        assert Precision.FP16.nbytes == 2
+        assert Precision.FP32.nbytes == 4
+
+    def test_float_vs_fixed(self):
+        assert Precision.INT8.is_fixed_point
+        assert not Precision.INT8.is_floating_point
+        assert Precision.FP16.is_floating_point
+        assert Precision.FP32.is_floating_point
+        assert not Precision.FP32.is_fixed_point
+
+    def test_fp16_format_parameters(self):
+        assert Precision.FP16.mantissa_bits == 10
+        assert Precision.FP16.stochastic_mantissa_bits == 9  # k=9 per paper
+        assert Precision.FP16.exponent_bits == 5
+        assert Precision.FP16.max_exponent == 15
+        assert Precision.FP16.min_exponent == -14
+
+    def test_fp32_format_parameters(self):
+        assert Precision.FP32.mantissa_bits == 23
+        assert Precision.FP32.exponent_bits == 8
+        assert Precision.FP32.max_exponent == 127
+
+    def test_int8_has_no_mantissa(self):
+        with pytest.raises(ValueError):
+            _ = Precision.INT8.mantissa_bits
+        with pytest.raises(ValueError):
+            _ = Precision.INT8.exponent_bits
+
+    def test_order_is_low_to_high(self):
+        bits = [p.bits for p in PRECISION_ORDER]
+        assert bits == sorted(bits)
+
+
+class TestParsePrecision:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("int8", Precision.INT8),
+            ("INT8", Precision.INT8),
+            ("fp16", Precision.FP16),
+            ("FP32", Precision.FP32),
+            (8, Precision.INT8),
+            (16, Precision.FP16),
+            (32, Precision.FP32),
+            (Precision.FP16, Precision.FP16),
+        ],
+    )
+    def test_accepts(self, value, expected):
+        assert parse_precision(value) is expected
+
+    def test_rejects_unknown_string(self):
+        with pytest.raises(ValueError):
+            parse_precision("fp8")
+
+    def test_rejects_unknown_bits(self):
+        with pytest.raises(ValueError):
+            parse_precision(4)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            parse_precision(3.14)
+
+
+class TestPrecisionLadder:
+    def test_higher(self):
+        assert higher_precision(Precision.INT8) is Precision.FP16
+        assert higher_precision(Precision.FP16) is Precision.FP32
+        assert higher_precision(Precision.FP32) is None
+
+    def test_lower(self):
+        assert lower_precision(Precision.FP32) is Precision.FP16
+        assert lower_precision(Precision.FP16) is Precision.INT8
+        assert lower_precision(Precision.INT8) is None
+
+
+class TestUnits:
+    def test_storage_units(self):
+        assert MB == 1024**2
+        assert GB == 1024**3
+        assert bytes_to_mb(5 * MB) == pytest.approx(5.0)
+        assert bytes_to_gb(3 * GB) == pytest.approx(3.0)
+
+    def test_time_units(self):
+        assert seconds_to_ms(0.25) == pytest.approx(250.0)
+
+
+class TestRng:
+    def test_new_rng_reproducible(self):
+        a = new_rng(42).random(8)
+        b = new_rng(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 4)
+        assert len(rngs) == 4
+        draws = [r.random(16) for r in rngs]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.allclose(draws[i], draws[j])
+
+    def test_spawn_rngs_deterministic(self):
+        a = spawn_rngs(7, 3)[1].random(4)
+        b = spawn_rngs(7, 3)[1].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_depends_on_keys(self):
+        s1 = derive_seed(1, "worker", 0)
+        s2 = derive_seed(1, "worker", 1)
+        s3 = derive_seed(1, "worker", 0)
+        assert s1 != s2
+        assert s1 == s3
+        assert 0 <= s1 < 2**31 - 1

@@ -1,0 +1,192 @@
+"""Tests for repro.graph: operator taxonomy, Precision DAG, subgraphs."""
+
+import pytest
+
+from repro.common import Precision
+from repro.common.errors import GraphConsistencyError
+from repro.graph import (
+    OpCategory,
+    OpKind,
+    OperatorSpec,
+    PrecisionDAG,
+    group_blocks,
+    structural_signature,
+)
+from repro.graph.ops import conv2d_flops, linear_flops
+from repro.graph.subgraph import isomorphism_classes
+
+
+def chain_dag() -> PrecisionDAG:
+    """input -> conv -> relu -> linear -> loss."""
+    dag = PrecisionDAG()
+    dag.add_op(OperatorSpec("input", OpKind.INPUT, (4, 3, 8, 8)))
+    dag.add_op(
+        OperatorSpec(
+            "conv", OpKind.CONV2D, (4, 8, 8, 8), weight_shape=(8, 3, 3, 3),
+            flops=conv2d_flops(4, 3, 8, 8, 8, 3, 3),
+        ),
+        inputs=["input"],
+    )
+    dag.add_op(OperatorSpec("relu", OpKind.RELU, (4, 8, 8, 8)), inputs=["conv"])
+    dag.add_op(
+        OperatorSpec(
+            "fc", OpKind.LINEAR, (4, 10), weight_shape=(10, 512),
+            flops=linear_flops(4, 512, 10),
+        ),
+        inputs=["relu"],
+    )
+    dag.add_op(OperatorSpec("loss", OpKind.LOSS, (1,)), inputs=["fc"])
+    return dag
+
+
+class TestOperatorSpec:
+    def test_categories(self):
+        assert OperatorSpec("c", OpKind.CONV2D, (1,)).category is OpCategory.ADJUSTABLE
+        assert OperatorSpec("l", OpKind.LINEAR, (1,)).category is OpCategory.ADJUSTABLE
+        assert OperatorSpec("r", OpKind.RELU, (1,)).category is OpCategory.DEPENDENT
+        assert OperatorSpec("a", OpKind.ADD, (1,)).category is OpCategory.DEPENDENT
+        assert OperatorSpec("m", OpKind.MATMUL, (1,)).category is OpCategory.FIXED
+        assert OperatorSpec("x", OpKind.LOSS, (1,)).category is OpCategory.FIXED
+
+    def test_weighted_ops_support_int8(self):
+        spec = OperatorSpec("c", OpKind.CONV2D, (1, 8, 4, 4), weight_shape=(8, 3, 3, 3))
+        assert Precision.INT8 in spec.supported_precisions()
+
+    def test_softmax_pinned_fp32(self):
+        spec = OperatorSpec("s", OpKind.SOFTMAX, (4, 16))
+        assert spec.supported_precisions() == (Precision.FP32,)
+
+    def test_dependent_ops_no_int8(self):
+        spec = OperatorSpec("r", OpKind.RELU, (4, 16))
+        assert Precision.INT8 not in spec.supported_precisions()
+        assert Precision.FP16 in spec.supported_precisions()
+
+    def test_backward_flops(self):
+        conv = OperatorSpec("c", OpKind.CONV2D, (1,), weight_shape=(1, 1, 1, 1), flops=100)
+        relu = OperatorSpec("r", OpKind.RELU, (1,), flops=100)
+        assert conv.backward_flops() == 200
+        assert relu.backward_flops() == 100
+
+    def test_elem_counts(self):
+        spec = OperatorSpec("c", OpKind.CONV2D, (2, 8, 4, 4), weight_shape=(8, 3, 3, 3))
+        assert spec.output_elems == 2 * 8 * 4 * 4
+        assert spec.weight_elems == 8 * 3 * 3 * 3
+        assert spec.activation_bytes(Precision.FP16) == spec.output_elems * 2
+        assert spec.weight_bytes(Precision.FP32) == spec.weight_elems * 4
+
+
+class TestPrecisionDAG:
+    def test_topo_order_respects_edges(self):
+        dag = chain_dag()
+        order = dag.topo_order()
+        assert order.index("input") < order.index("conv") < order.index("fc")
+
+    def test_duplicate_name_rejected(self):
+        dag = chain_dag()
+        with pytest.raises(GraphConsistencyError):
+            dag.add_op(OperatorSpec("conv", OpKind.CONV2D, (1,)))
+
+    def test_unknown_input_rejected(self):
+        dag = PrecisionDAG()
+        dag.add_op(OperatorSpec("input", OpKind.INPUT, (1,)))
+        with pytest.raises(GraphConsistencyError):
+            dag.add_op(OperatorSpec("x", OpKind.RELU, (1,)), inputs=["ghost"])
+
+    def test_depth_longest_path(self):
+        # Diamond: input -> a -> b -> add, input -> add (skip edge).
+        dag = PrecisionDAG()
+        dag.add_op(OperatorSpec("input", OpKind.INPUT, (1,)))
+        dag.add_op(OperatorSpec("a", OpKind.RELU, (1,)), inputs=["input"])
+        dag.add_op(OperatorSpec("b", OpKind.RELU, (1,)), inputs=["a"])
+        dag.add_op(OperatorSpec("add", OpKind.ADD, (1,)), inputs=["b", "input"])
+        assert dag.depth("add") == 3  # longest path, not shortest
+
+    def test_precision_roundtrip(self):
+        dag = chain_dag()
+        dag.set_precision("conv", Precision.INT8)
+        assert dag.precision("conv") is Precision.INT8
+        dag.set_precision("conv", "fp16")
+        assert dag.precision("conv") is Precision.FP16
+
+    def test_plan_apply_snapshot(self):
+        dag = chain_dag()
+        plan = dag.precision_plan()
+        assert all(p is Precision.FP32 for p in plan.values())
+        dag.apply_plan({"conv": Precision.INT8, "fc": Precision.FP16})
+        assert dag.precision("conv") is Precision.INT8
+        assert dag.precision("relu") is Precision.FP32
+
+    def test_adjustable_ops(self):
+        dag = chain_dag()
+        assert dag.adjustable_ops() == ["conv", "fc"]
+
+    def test_copy_is_independent(self):
+        dag = chain_dag()
+        dup = dag.copy()
+        dup.set_precision("conv", Precision.INT8)
+        assert dag.precision("conv") is Precision.FP32
+
+    def test_validate_detects_multiple_roots(self):
+        dag = PrecisionDAG()
+        dag.add_op(OperatorSpec("a", OpKind.INPUT, (1,)))
+        dag.add_op(OperatorSpec("b", OpKind.INPUT, (1,)))
+        dag.add_op(OperatorSpec("c", OpKind.ADD, (1,)), inputs=["a", "b"])
+        with pytest.raises(GraphConsistencyError):
+            dag.validate()
+
+    def test_summary_contains_counts(self):
+        text = chain_dag().summary()
+        assert "2 adjustable" in text
+
+
+class TestSubgraph:
+    def test_group_blocks_singleton_for_unlabelled(self):
+        dag = chain_dag()
+        groups = group_blocks(dag)
+        assert all(len(ops) == 1 for ops in groups.values())
+
+    def test_isomorphic_blocks_share_signature(self):
+        dag = PrecisionDAG()
+        dag.add_op(OperatorSpec("input", OpKind.INPUT, (1, 4)))
+        prev = "input"
+        for i in range(3):
+            blk = f"block{i}"
+            dag.add_op(
+                OperatorSpec(f"{blk}.fc", OpKind.LINEAR, (1, 4),
+                             weight_shape=(4, 4), block=blk),
+                inputs=[prev],
+            )
+            dag.add_op(
+                OperatorSpec(f"{blk}.relu", OpKind.RELU, (1, 4), block=blk),
+                inputs=[f"{blk}.fc"],
+            )
+            prev = f"{blk}.relu"
+        groups = group_blocks(dag)
+        sigs = {structural_signature(dag, ops) for lbl, ops in groups.items()
+                if lbl.startswith("block")}
+        assert len(sigs) == 1
+
+    def test_different_shapes_different_signature(self):
+        dag = PrecisionDAG()
+        dag.add_op(OperatorSpec("input", OpKind.INPUT, (1, 4)))
+        dag.add_op(
+            OperatorSpec("b0.fc", OpKind.LINEAR, (1, 4), weight_shape=(4, 4), block="b0"),
+            inputs=["input"],
+        )
+        dag.add_op(
+            OperatorSpec("b1.fc", OpKind.LINEAR, (1, 8), weight_shape=(8, 4), block="b1"),
+            inputs=["b0.fc"],
+        )
+        groups = group_blocks(dag)
+        s0 = structural_signature(dag, groups["b0"])
+        s1 = structural_signature(dag, groups["b1"])
+        assert s0 != s1
+
+    def test_isomorphism_classes_collapse(self):
+        from repro.models import bert_graph
+
+        dag = bert_graph(batch_size=2, seq_len=16)
+        classes = isomorphism_classes(dag)
+        labels = [lbls for lbls in classes.values() if len(lbls) > 1]
+        # All 12 encoder blocks should land in one class.
+        assert any(len(lbls) == 12 for lbls in labels)

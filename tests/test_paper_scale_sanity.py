@@ -1,0 +1,81 @@
+"""Sanity checks at the paper's actual model scales.
+
+These pin the simulated substrate to physically plausible magnitudes for
+the real benchmark configurations — the numbers a reader would first check
+against intuition (per-iteration latency of ResNet50/VGG16/BERT on V100/T4,
+speedup ratios across devices and precisions).
+"""
+
+import pytest
+
+from repro.backend import LPBackend
+from repro.common import Precision
+from repro.core import CostMapper
+from repro.hardware import T4, V100
+from repro.models import bert_graph, resnet50_graph, vgg16_graph
+from repro.profiling import CastCostCalculator, profile_operator_costs
+
+
+def _compute_time(dag, device, precision=None):
+    backend = LPBackend(device)
+    catalog = profile_operator_costs(dag, backend, repeats=1)
+    casts = CastCostCalculator(backend)
+    work = dag.copy()
+    if precision is not None:
+        for op in work.adjustable_ops():
+            if precision in work.spec(op).supported_precisions():
+                work.set_precision(op, precision)
+    mapper = CostMapper(work, catalog, casts, device=device)
+    return mapper.build_local_dfg(device.name, 0).compute_time
+
+
+class TestResNet50Magnitudes:
+    @pytest.fixture(scope="class")
+    def dag(self):
+        return resnet50_graph(batch_size=128)
+
+    def test_v100_fp32_iteration_band(self, dag):
+        """ResNet50 bs128 fwd+bwd on V100 FP32: real systems land roughly
+        0.3-0.8 s/iter; the roofline must be in that order of magnitude."""
+        t = _compute_time(dag, V100)
+        assert 0.15 < t < 1.5
+
+    def test_t4_slower_than_v100_at_fp32(self, dag):
+        ratio = _compute_time(dag, T4) / _compute_time(dag, V100)
+        # Peak ratio is 15.7/8.1 ≈ 1.9; memory-bound ops push it higher.
+        assert 1.4 < ratio < 4.0
+
+    def test_fp16_speedup_band_on_t4(self, dag):
+        ratio = _compute_time(dag, T4) / _compute_time(dag, T4, Precision.FP16)
+        # Real AMP on conv nets: ~1.5-3x end-to-end, not the 8x peak ratio.
+        assert 1.3 < ratio < 4.0
+
+
+class TestVGG16Magnitudes:
+    def test_vgg16_heavier_than_resnet50(self):
+        vgg = vgg16_graph(batch_size=32)
+        res = resnet50_graph(batch_size=32)
+        assert _compute_time(vgg, V100) > _compute_time(res, V100)
+
+
+class TestBertMagnitudes:
+    @pytest.fixture(scope="class")
+    def dag(self):
+        return bert_graph(batch_size=12, seq_len=384)
+
+    def test_bert_squad_iteration_band_on_v100(self, dag):
+        """BERT-base bs12 seq384: real V100 fine-tuning runs ~0.3-1 it/s at
+        FP32; so per-device compute should be a few hundred ms."""
+        t = _compute_time(dag, V100)
+        assert 0.1 < t < 2.0
+
+    def test_fp16_speedup_on_bert_t4(self, dag):
+        ratio = _compute_time(dag, T4) / _compute_time(dag, T4, Precision.FP16)
+        assert 1.3 < ratio < 5.0
+
+    def test_int8_not_faster_than_fp16_end_to_end(self, dag):
+        """The paper's Fig. 7(b) premise at full scale: INT8 training with
+        its casting overhead does not beat FP16 end-to-end."""
+        t16 = _compute_time(dag, T4, Precision.FP16)
+        t8 = _compute_time(dag, T4, Precision.INT8)
+        assert t8 > 0.95 * t16

@@ -1,0 +1,126 @@
+"""Additional coverage: PrecisionPlan, timeline rendering, DFG accounting,
+LinearCostModel edge behaviour, cluster describe/subsets."""
+
+import numpy as np
+import pytest
+
+from repro.common import Precision
+from repro.core.dfg import CommBucket, DFGNode, LocalDFG, NodeKind
+from repro.core.plan import PrecisionPlan
+from repro.core.replayer import TimelineEvent
+from repro.parallel.timeline import render_timeline
+
+
+class TestPrecisionPlan:
+    def _plan(self):
+        return PrecisionPlan(
+            assignments={
+                "T4": {
+                    "conv1": Precision.INT8,
+                    "conv2": Precision.FP16,
+                    "fc": Precision.FP32,
+                },
+            }
+        )
+
+    def test_for_device_copies(self):
+        plan = self._plan()
+        got = plan.for_device("T4")
+        got["conv1"] = Precision.FP32
+        assert plan.for_device("T4")["conv1"] is Precision.INT8
+
+    def test_for_unknown_device_empty(self):
+        assert self._plan().for_device("A100") == {}
+
+    def test_precision_counts(self):
+        counts = self._plan().precision_counts("T4")
+        assert counts["int8"] == 1 and counts["fp16"] == 1 and counts["fp32"] == 1
+
+    def test_quantized_ops(self):
+        assert set(self._plan().quantized_ops("T4")) == {"conv1", "conv2"}
+
+    def test_dict_roundtrip_preserves_everything(self):
+        plan = self._plan()
+        restored = PrecisionPlan.from_dict(plan.to_dict())
+        assert restored.assignments == plan.assignments
+
+    def test_summary_mentions_counts(self):
+        text = self._plan().summary()
+        assert "1xint8" in text and "1xfp16" in text
+
+    def test_empty_plan_summary(self):
+        assert PrecisionPlan(assignments={}).summary() == "empty plan"
+
+
+class TestTimelineRendering:
+    def _events(self):
+        return [
+            TimelineEvent(0, "V100", "cuda", 0.0, 0.5, "fwd"),
+            TimelineEvent(0, "V100", "comm", 0.5, 1.0, "allreduce"),
+            TimelineEvent(1, "T4", "cuda", 0.0, 0.25, "fwd"),
+        ]
+
+    def test_rows_per_device_stream(self):
+        text = render_timeline(self._events())
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines) == 3  # V100/cuda, V100/comm, T4/cuda
+
+    def test_busy_fraction_reflects_durations(self):
+        text = render_timeline(self._events(), width=40)
+        t4_line = next(l for l in text.splitlines() if "T4" in l)
+        v100_cuda = next(
+            l for l in text.splitlines() if "V100" in l and "cuda" in l
+        )
+        assert t4_line.count("#") < v100_cuda.count("#")
+
+    def test_unmerged_ranks(self):
+        events = self._events() + [
+            TimelineEvent(2, "T4", "cuda", 0.0, 0.25, "fwd")
+        ]
+        text = render_timeline(events, merge_ranks=False)
+        assert "T4#1" in text and "T4#2" in text
+
+    def test_zero_length(self):
+        events = [TimelineEvent(0, "X", "cuda", 0.0, 0.0, "noop")]
+        assert "zero-length" in render_timeline(events)
+
+
+class TestLocalDFGAccounting:
+    def test_cast_time_counts_only_casts(self):
+        dfg = LocalDFG("T4", 0)
+        dfg.add_forward(DFGNode("op", NodeKind.FORWARD, 1.0))
+        dfg.add_forward(DFGNode("c1", NodeKind.CAST, 0.25))
+        dfg.add_backward(DFGNode("c2", NodeKind.CAST, 0.25))
+        dfg.add_backward(DFGNode("b", NodeKind.BACKWARD, 2.0))
+        assert dfg.cast_time() == pytest.approx(0.5)
+        assert dfg.forward_time == pytest.approx(1.25)
+        assert dfg.backward_time == pytest.approx(2.25)
+
+    def test_compute_time_includes_optimizer(self):
+        dfg = LocalDFG("T4", 0)
+        dfg.add_forward(DFGNode("op", NodeKind.FORWARD, 1.0))
+        dfg.set_optimizer(0.5)
+        assert dfg.compute_time == pytest.approx(1.5)
+
+    def test_bucket_ready_defaults_to_end(self):
+        dfg = LocalDFG("T4", 0)
+        dfg.add_forward(DFGNode("f", NodeKind.FORWARD, 1.0))
+        dfg.add_backward(DFGNode("b", NodeKind.BACKWARD, 1.0, op="w"))
+        dfg.set_buckets([CommBucket(0, 8, ("w",))], {0: 5})  # past the end
+        ready = dfg.bucket_ready_times()
+        assert ready[0] == pytest.approx(2.0)
+
+
+class TestClusterCosmetics:
+    def test_describe_orders_types(self):
+        from repro.hardware import make_cluster_b
+
+        text = make_cluster_b(3, 5).describe()
+        assert "3xV100" in text and "5xT4" in text
+
+    def test_collective_latency_additive(self):
+        from repro.hardware import make_cluster_a
+
+        c = make_cluster_a(1, 1)
+        base = c.allreduce_time(0)
+        assert base == pytest.approx(2 * (c.size - 1) * c.collective_latency)

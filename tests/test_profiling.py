@@ -1,0 +1,206 @@
+"""Tests for repro.profiling: casting models, cost catalogs, memory, stats."""
+
+import numpy as np
+import pytest
+
+from repro.common import GB, Precision, new_rng
+from repro.backend import LPBackend
+from repro.hardware import T4, V100
+from repro.models import make_mini_model, mini_model_graph, resnet50_graph
+from repro.profiling import (
+    CastCostCalculator,
+    LinearCostModel,
+    MemoryModel,
+    OperatorStats,
+    StatsRecorder,
+    collect_model_stats,
+    profile_operator_costs,
+    synthesize_stats,
+)
+from repro.tensor import Tensor, functional as F
+
+
+class TestLinearCostModel:
+    def test_fit_recovers_line(self):
+        sizes = np.array([1e3, 1e4, 1e5, 1e6])
+        times = 2e-6 + 3e-9 * sizes
+        m = LinearCostModel.fit(sizes, times)
+        assert m.slope == pytest.approx(3e-9, rel=1e-6)
+        assert m.intercept == pytest.approx(2e-6, rel=1e-4)
+        assert m.r2 == pytest.approx(1.0)
+
+    def test_fit_noisy_good_r2(self):
+        rng = new_rng(0)
+        sizes = np.linspace(1e4, 1e7, 20)
+        times = (1e-6 + 2e-9 * sizes) * (1 + 0.02 * rng.standard_normal(20))
+        m = LinearCostModel.fit(sizes, times)
+        assert m.r2 > 0.98
+
+    def test_predict_non_negative(self):
+        m = LinearCostModel(slope=1e-9, intercept=-1e-6, r2=1.0)
+        assert m.predict(10) == 0.0
+
+    def test_fit_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            LinearCostModel.fit(np.array([1.0]), np.array([1.0]))
+
+
+class TestCastCostCalculator:
+    @pytest.fixture(scope="class")
+    def calc(self):
+        return CastCostCalculator(LPBackend(T4))
+
+    def test_all_pairs_fitted(self, calc):
+        for src, dst in [
+            (Precision.FP32, Precision.FP16),
+            (Precision.FP32, Precision.INT8),
+            (Precision.INT8, Precision.FP16),
+        ]:
+            assert calc.predict(src, dst, 10**6) >= 0.0
+
+    def test_linear_fits_are_tight(self, calc):
+        assert calc.worst_fit_r2() > 0.99
+
+    def test_same_precision_free(self, calc):
+        assert calc.predict(Precision.FP16, Precision.FP16, 10**6) == 0.0
+
+    def test_prediction_close_to_backend_truth(self, calc):
+        be = LPBackend(T4)
+        elems = 500_000
+        truth = be.cast_time(Precision.FP32, Precision.INT8, elems)
+        pred = calc.predict(Precision.FP32, Precision.INT8, elems)
+        assert pred == pytest.approx(truth, rel=0.1)
+
+    def test_quantize_costlier_than_float_cast(self, calc):
+        assert calc.predict(Precision.FP32, Precision.INT8, 10**6) > calc.predict(
+            Precision.FP32, Precision.FP16, 10**6
+        )
+
+
+class TestOperatorCostCatalog:
+    def test_profile_mini_model(self):
+        # Production-scale shapes: tiny ops are launch-bound and precision
+        # would not change their cost.
+        dag = mini_model_graph("mini_vggbn", batch_size=64, width_scale=16,
+                               spatial_scale=4)
+        catalog = profile_operator_costs(dag, LPBackend(T4), repeats=2)
+        assert len(catalog) > 0
+        for op in dag.adjustable_ops():
+            if dag.spec(op).has_weight and dag.spec(op).kind.value == "conv2d":
+                c32 = catalog.get(op, Precision.FP32)
+                c8 = catalog.get(op, Precision.INT8)
+                c16 = catalog.get(op, Precision.FP16)
+                assert c32.forward > 0 and c32.backward > 0
+                # INT8 training kernels beat FP32 but not necessarily FP16.
+                assert c8.forward < c32.forward
+                assert c16.forward < c32.forward
+
+    def test_v100_catalog_has_no_int8(self):
+        dag = mini_model_graph("mini_vgg", batch_size=16)
+        catalog = profile_operator_costs(dag, LPBackend(V100), repeats=1)
+        op = dag.adjustable_ops()[0]
+        assert catalog.has(op, Precision.FP16)
+        assert not catalog.has(op, Precision.INT8)
+
+    def test_missing_entry_raises(self):
+        dag = mini_model_graph("mini_vgg", batch_size=4)
+        catalog = profile_operator_costs(dag, LPBackend(T4), repeats=1)
+        with pytest.raises(KeyError):
+            catalog.get("nonexistent", Precision.FP32)
+
+
+class TestMemoryModel:
+    def test_resnet50_fp32_magnitude(self):
+        dag = resnet50_graph(batch_size=32)
+        est = MemoryModel(optimizer_slots=1).estimate(dag)
+        # ~25.6M params * 4B * (1 w + 1 g + 1 m) ≈ 0.3 GB + activations.
+        assert est.weights == pytest.approx(est.gradients)
+        assert est.optimizer == pytest.approx(est.weights)
+        assert est.total > 1 * GB  # activations dominate at bs32
+
+    def test_quantization_reduces_activation_memory(self):
+        dag = resnet50_graph(batch_size=32)
+        base = MemoryModel().estimate(dag).total
+        for op in dag.nodes():
+            if dag.spec(op).has_weight:
+                dag.set_precision(op, Precision.INT8)
+        quant = MemoryModel().estimate(dag).total
+        assert quant < base
+
+    def test_fp16_adds_weight_copy(self):
+        dag = mini_model_graph("mini_vgg", batch_size=8)
+        base = MemoryModel().estimate(dag)
+        assert base.weight_copies == 0
+        for op in dag.adjustable_ops():
+            dag.set_precision(op, Precision.FP16)
+        est = MemoryModel().estimate(dag)
+        assert est.weight_copies > 0
+
+    def test_adam_doubles_optimizer_state(self):
+        dag = mini_model_graph("mini_vgg", batch_size=8)
+        sgd = MemoryModel(optimizer_slots=1).estimate(dag)
+        adam = MemoryModel(optimizer_slots=2).estimate(dag)
+        assert adam.optimizer == 2 * sgd.optimizer
+
+    def test_fits_budget(self):
+        dag = mini_model_graph("mini_vgg", batch_size=8)
+        mm = MemoryModel()
+        assert mm.fits(dag, 10 * GB)
+        assert not mm.fits(dag, 1024)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            MemoryModel(optimizer_slots=-1)
+
+
+class TestStats:
+    def test_recorder_running_mean(self):
+        s = OperatorStats()
+        s.update(act_norm_sq=2.0)
+        s.update(act_norm_sq=4.0)
+        assert s.act_norm_sq == pytest.approx(3.0)
+        assert s.samples == 2
+
+    def test_collect_real_stats(self):
+        model = make_mini_model("mini_vggbn")
+        rng = new_rng(0)
+
+        def data_iter():
+            while True:
+                x = Tensor(rng.normal(size=(8, 3, 16, 16)))
+                y = rng.integers(0, 10, size=8)
+                yield x, y
+
+        def loss_fn(m, x, y):
+            return F.cross_entropy(m(x), y)
+
+        stats = collect_model_stats(model, data_iter(), loss_fn, iterations=3)
+        assert len(stats) == 6  # 5 convs + classifier
+        for key, s in stats.items():
+            assert s.samples == 3
+            assert s.act_norm_sq > 0
+            assert s.weight_norm_sq > 0
+            assert s.grad_norm_sq > 0
+            assert s.act_dims > 0 and s.weight_dims > 0 and s.grad_dims > 0
+            assert s.act_scale > 0 and s.weight_scale > 0
+
+    def test_synthesized_stats_cover_adjustable(self):
+        dag = resnet50_graph(batch_size=4)
+        stats = synthesize_stats(dag, seed=0)
+        weighted = [n for n in dag.adjustable_ops() if dag.spec(n).has_weight]
+        assert set(stats) == set(weighted)
+        for s in stats.values():
+            assert s.act_norm_sq > 0 and s.grad_norm_sq > 0
+
+    def test_synthesized_stats_deterministic(self):
+        dag = mini_model_graph("mini_bert", batch_size=4)
+        a = synthesize_stats(dag, seed=1)
+        b = synthesize_stats(dag, seed=1)
+        key = next(iter(a))
+        assert a[key].grad_norm_sq == b[key].grad_norm_sq
+
+    def test_recorder_can_be_disabled(self):
+        r = StatsRecorder()
+        r.enabled = False
+        r.record_forward("x", np.ones(4), np.ones(4))
+        assert len(r.snapshot()) == 0

@@ -1,0 +1,286 @@
+"""Unit + property tests for repro.quant.
+
+The key theoretical claims under test:
+
+* stochastic rounding is unbiased (Proposition 1's prerequisite);
+* the Monte-Carlo variance of fixed/floating-point SR quantization matches
+  the closed forms of Proposition 2 within sampling error.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Precision, new_rng
+from repro.quant import (
+    FixedPointQuantizer,
+    FloatingPointQuantizer,
+    Granularity,
+    effective_exponent,
+    fixed_point_variance,
+    floating_point_variance,
+    quantization_mse,
+    simulate_cast,
+    stochastic_round,
+)
+from repro.quant.fixed_point import dequant_granularity
+from repro.quant.stochastic import floor_round, nearest_round
+from repro.quant.variance import theoretical_variance_for
+
+
+class TestStochasticRound:
+    def test_integers_are_fixed_points(self):
+        rng = new_rng(0)
+        x = np.array([-3.0, 0.0, 1.0, 7.0])
+        np.testing.assert_array_equal(stochastic_round(x, rng), x)
+
+    def test_rounds_to_adjacent_integers(self):
+        rng = new_rng(1)
+        x = np.full(1000, 2.3)
+        r = stochastic_round(x, rng)
+        assert set(np.unique(r)) <= {2.0, 3.0}
+
+    def test_unbiasedness(self):
+        rng = new_rng(2)
+        x = np.full(200_000, 0.37)
+        r = stochastic_round(x, rng)
+        assert np.mean(r) == pytest.approx(0.37, abs=5e-3)
+
+    def test_negative_values(self):
+        rng = new_rng(3)
+        x = np.full(100_000, -1.25)
+        r = stochastic_round(x, rng)
+        assert set(np.unique(r)) <= {-2.0, -1.0}
+        assert np.mean(r) == pytest.approx(-1.25, abs=5e-3)
+
+    @given(st.floats(min_value=-50, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_always_adjacent(self, value):
+        rng = new_rng(4)
+        r = stochastic_round(np.full(64, value), rng)
+        assert np.all((r == np.floor(value)) | (r == np.ceil(value)))
+
+    def test_floor_and_nearest_deterministic(self):
+        x = np.array([1.4, 1.5, 2.5, -1.5])
+        np.testing.assert_array_equal(floor_round(x), [1.0, 1.0, 2.0, -2.0])
+        # round-half-even
+        np.testing.assert_array_equal(nearest_round(x), [1.0, 2.0, 2.0, -2.0])
+
+
+class TestFixedPointQuantizer:
+    def test_roundtrip_error_bounded_by_scale(self):
+        rng = new_rng(0)
+        q = FixedPointQuantizer(bits=8)
+        x = rng.normal(size=(64, 32))
+        qt = q.quantize(x, rng)
+        err = np.abs(qt.dequantize() - x)
+        assert np.all(err <= qt.scale + 1e-12)
+
+    def test_grid_values_in_range(self):
+        rng = new_rng(1)
+        q = FixedPointQuantizer(bits=8)
+        qt = q.quantize(rng.normal(size=100), rng)
+        assert qt.values.min() >= 0
+        assert qt.values.max() <= 255
+
+    def test_constant_tensor_is_exact(self):
+        rng = new_rng(2)
+        q = FixedPointQuantizer(bits=8)
+        x = np.full((10, 10), 3.7)
+        np.testing.assert_allclose(q.fake_quantize(x, rng), x)
+
+    def test_channelwise_scales_per_channel(self):
+        rng = new_rng(3)
+        q = FixedPointQuantizer(bits=8, granularity=Granularity.CHANNEL)
+        x = np.stack([np.linspace(0, 1, 16), np.linspace(0, 100, 16)])
+        qt = q.quantize(x, rng)
+        assert qt.scale.shape == (2, 1)
+        assert qt.scale[1, 0] > qt.scale[0, 0]
+
+    def test_channelwise_more_accurate_for_heterogeneous_channels(self):
+        rng = new_rng(4)
+        x = np.stack([np.linspace(0, 1, 256), np.linspace(0, 1000, 256)])
+        lw = FixedPointQuantizer(bits=8, granularity=Granularity.LAYER)
+        cw = FixedPointQuantizer(bits=8, granularity=Granularity.CHANNEL)
+        err_lw = quantization_mse(x, lw.fake_quantize(x, new_rng(5)))
+        err_cw = quantization_mse(x, cw.fake_quantize(x, new_rng(5)))
+        assert err_cw < err_lw
+
+    def test_unbiasedness_of_fake_quantize(self):
+        rng = new_rng(6)
+        q = FixedPointQuantizer(bits=4)
+        x = rng.normal(size=512)
+        acc = np.zeros_like(x)
+        trials = 400
+        for t in range(trials):
+            acc += q.fake_quantize(x, new_rng(100 + t))
+        mean = acc / trials
+        scale = q.compute_qparams(x)[0].item()
+        # The mean must converge to x much tighter than one grid step.
+        assert np.max(np.abs(mean - x)) < 0.15 * scale
+
+    def test_nbytes(self):
+        rng = new_rng(7)
+        qt = FixedPointQuantizer(bits=8).quantize(np.zeros(1000), rng)
+        assert qt.nbytes == 1000
+
+    @pytest.mark.parametrize("bits", [1, 0, 25, 32])
+    def test_rejects_bad_bits(self, bits):
+        with pytest.raises(ValueError):
+            FixedPointQuantizer(bits=bits)
+
+    def test_rejects_bad_rounding(self):
+        with pytest.raises(ValueError):
+            FixedPointQuantizer(rounding="banker")
+
+    def test_floor_rounding_biased_low(self):
+        rng = new_rng(8)
+        q = FixedPointQuantizer(bits=8, rounding="floor")
+        x = rng.normal(size=10_000)
+        out = q.fake_quantize(x, rng)
+        # Flooring pulls values toward the zero point (min), biasing the mean.
+        assert np.mean(out) < np.mean(x)
+
+    def test_dequant_granularity_pairing(self):
+        L, C = Granularity.LAYER, Granularity.CHANNEL
+        assert dequant_granularity(L, L) is L
+        assert dequant_granularity(L, C) is C
+        assert dequant_granularity(C, L) is C
+        assert dequant_granularity(C, C) is C
+
+
+class TestFloatingPointQuantizer:
+    def test_identity_on_representable_values(self):
+        rng = new_rng(0)
+        q = FloatingPointQuantizer(mantissa_bits=9)
+        x = np.array([1.0, 0.5, 2.0, -4.0, 0.0])
+        np.testing.assert_allclose(q.quantize(x, rng), x)
+
+    def test_relative_error_bounded(self):
+        rng = new_rng(1)
+        q = FloatingPointQuantizer(mantissa_bits=9)
+        x = new_rng(2).normal(size=4096) * 10
+        out = q.quantize(x, rng)
+        rel = np.abs(out - x) / np.maximum(np.abs(x), 1e-30)
+        # One ulp at k=9 on (1+m) in [1,2) means rel err < 2**-9.
+        assert np.max(rel) <= 2.0**-9 + 1e-12
+
+    def test_overflow_saturates(self):
+        rng = new_rng(3)
+        q = FloatingPointQuantizer(mantissa_bits=9, max_exponent=15)
+        out = q.quantize(np.array([1e9, -1e9]), rng)
+        assert out[0] == pytest.approx(65408.0, rel=1e-3)  # ~max fp16-ish
+        assert out[1] == -out[0]
+
+    def test_underflow_flushes_to_zero(self):
+        rng = new_rng(4)
+        q = FloatingPointQuantizer(mantissa_bits=9, min_exponent=-14)
+        out = q.quantize(np.array([1e-9, -1e-9]), rng)
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_unbiasedness(self):
+        x = np.full(50_000, 1.0 + 1.0 / 3.0)  # mantissa not on the k=3 grid
+        q = FloatingPointQuantizer(mantissa_bits=3)
+        out = q.quantize(x, new_rng(5))
+        assert np.mean(out) == pytest.approx(x[0], rel=1e-3)
+
+    def test_for_precision_fp16(self):
+        q = FloatingPointQuantizer.for_precision(Precision.FP16)
+        assert q.mantissa_bits == 9
+        assert q.max_exponent == 15
+
+    def test_for_precision_rejects_int(self):
+        with pytest.raises(ValueError):
+            FloatingPointQuantizer.for_precision(Precision.INT8)
+
+    def test_simulate_cast_fp32_identity(self):
+        x = np.array([1.2345678901234])
+        np.testing.assert_array_equal(simulate_cast(x, Precision.FP32, new_rng(0)), x)
+
+    def test_simulate_cast_rejects_int8(self):
+        with pytest.raises(ValueError):
+            simulate_cast(np.ones(3), Precision.INT8, new_rng(0))
+
+
+class TestVarianceTheory:
+    """Monte-Carlo validation of Proposition 2."""
+
+    def test_fixed_point_variance_formula(self):
+        # x fixed, repeated SR quantization: total variance across elements
+        # should match q**2 * D / 6 when residuals are ~Uniform.
+        rng_data = new_rng(0)
+        x = rng_data.uniform(-1, 1, size=2048)
+        q = FixedPointQuantizer(bits=6)
+        scale = q.compute_qparams(x)[0].item()
+        trials = 300
+        samples = np.stack(
+            [q.fake_quantize(x, new_rng(1000 + t)) for t in range(trials)]
+        )
+        emp_total_var = float(np.sum(np.var(samples, axis=0)))
+        theory = fixed_point_variance(scale, x.size)
+        assert emp_total_var == pytest.approx(theory, rel=0.15)
+
+    def test_floating_point_variance_formula_order(self):
+        # Keep every element in the same binade so 2**(2e) is exact.
+        x = new_rng(1).uniform(1.0, 2.0, size=2048)
+        k = 5
+        q = FloatingPointQuantizer(mantissa_bits=k)
+        trials = 300
+        samples = np.stack(
+            [q.quantize(x, new_rng(2000 + t)) for t in range(trials)]
+        )
+        emp_total_var = float(np.sum(np.var(samples, axis=0)))
+        theory = floating_point_variance(0.0, k, x.size)  # e=0 for [1,2)
+        assert emp_total_var == pytest.approx(theory, rel=0.2)
+
+    def test_effective_exponent(self):
+        assert effective_exponent(np.array([1.5])) == 0.0
+        assert effective_exponent(np.array([4.0])) == 2.0
+        assert effective_exponent(np.array([0.3])) == -2.0
+        assert effective_exponent(np.zeros(5)) == -126.0
+
+    def test_theoretical_variance_dispatch(self):
+        x = np.ones(100)
+        assert theoretical_variance_for(x, Precision.FP32) == 0.0
+        assert theoretical_variance_for(x, Precision.FP16) > 0.0
+        assert theoretical_variance_for(x, Precision.INT8, scale=0.1) > 0.0
+        with pytest.raises(ValueError):
+            theoretical_variance_for(x, Precision.INT8)
+
+    def test_variance_decreases_with_bits(self):
+        v16 = floating_point_variance(0.0, 9, 100)
+        v32 = floating_point_variance(0.0, 23, 100)
+        assert v32 < v16
+
+    def test_channelwise_variance_sums_channels(self):
+        scales = np.array([0.1, 0.2])
+        v = fixed_point_variance(scales, dims=200)
+        expected = (0.1**2 + 0.2**2) * 100 / 6.0
+        assert v == pytest.approx(expected)
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_roundtrip_bounded_any_bits(self, bits, seed):
+        rng = new_rng(seed)
+        x = rng.normal(size=256) * rng.uniform(0.1, 100)
+        q = FixedPointQuantizer(bits=bits)
+        qt = q.quantize(x, rng)
+        assert np.all(np.abs(qt.dequantize() - x) <= qt.scale + 1e-9)
+
+    @given(st.integers(min_value=1, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_float_quantize_idempotent(self, k):
+        # Quantizing an already-quantized tensor must be exact (fixed point
+        # of the operator) because all values sit on the representable grid.
+        rng = new_rng(k)
+        q = FloatingPointQuantizer(mantissa_bits=k)
+        x = rng.normal(size=128)
+        once = q.quantize(x, rng)
+        twice = q.quantize(once, new_rng(k + 1))
+        np.testing.assert_allclose(twice, once)

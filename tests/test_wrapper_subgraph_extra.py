@@ -1,0 +1,108 @@
+"""Additional coverage: security-wrapper edge cases, subgraph classes on
+catalog models, casting-model family completeness, stats probes."""
+
+import numpy as np
+import pytest
+
+from repro.backend import LPBackend, SecurityWrapper
+from repro.common import Precision, new_rng
+from repro.graph.ops import OpKind
+from repro.graph.subgraph import group_blocks, isomorphism_classes
+from repro.hardware import T4, V100
+from repro.models import resnet50_graph, roberta_graph, vgg16_graph
+from repro.profiling.casting import CAST_PAIRS, CastCostCalculator
+
+
+class TestSecurityWrapperEdges:
+    def test_already_aligned_is_untouched(self):
+        w = SecurityWrapper("sm80")
+        call = w.wrap(OpKind.MATMUL, Precision.INT8, (64, 512, 1024))
+        assert call.use_tensor_cores
+        assert call.padded_problem == (64, 512, 1024)
+        assert call.padding_waste == 0.0
+
+    def test_m_may_be_ragged(self):
+        # Only N/K carry alignment requirements; M (rows) may be anything.
+        w = SecurityWrapper("sm75")
+        call = w.wrap(OpKind.LINEAR, Precision.FP16, (1337, 768, 768))
+        assert call.use_tensor_cores
+        assert call.padding_waste == 0.0
+
+    def test_unsupported_arch_falls_to_simt(self):
+        w = SecurityWrapper("simt")
+        call = w.wrap(OpKind.LINEAR, Precision.FP16, (128, 128, 128))
+        assert not call.use_tensor_cores
+
+
+class TestSubgraphOnCatalogModels:
+    def test_resnet50_stage_blocks_share_classes(self):
+        dag = resnet50_graph(batch_size=2)
+        classes = isomorphism_classes(dag)
+        multi = [lbls for lbls in classes.values() if len(lbls) > 1]
+        # Non-downsample bottlenecks within a stage are isomorphic:
+        # layer1 has 2 such, layer2 3, layer3 5, layer4 2.
+        sizes = sorted(len(l) for l in multi)
+        assert sizes.count(2) >= 2
+        assert 5 in sizes
+
+    def test_roberta_encoder_blocks_collapse(self):
+        dag = roberta_graph(batch_size=2, seq_len=16)
+        classes = isomorphism_classes(dag)
+        assert any(len(lbls) == 12 for lbls in classes.values())
+
+    def test_vgg_stages_grouped(self):
+        dag = vgg16_graph(batch_size=2, image_size=32)
+        blocks = group_blocks(dag)
+        assert "stage0" in blocks and "classifier" in blocks
+        # stage0 holds its convs/relus.
+        kinds = {dag.spec(op).kind for op in blocks["stage0"]}
+        assert OpKind.CONV2D in kinds
+
+
+class TestCastingFamilyCompleteness:
+    def test_every_pair_has_distinct_behaviour(self):
+        calc = CastCostCalculator(LPBackend(T4))
+        elems = 2_000_000
+        preds = {pair: calc.predict(*pair, elems) for pair in CAST_PAIRS}
+        # Quantization (needs MinMax) dominates float copies.
+        assert preds[(Precision.FP32, Precision.INT8)] > preds[
+            (Precision.FP32, Precision.FP16)
+        ]
+        # FP16 source quantization moves fewer bytes than FP32 source.
+        assert preds[(Precision.FP16, Precision.INT8)] < preds[
+            (Precision.FP32, Precision.INT8)
+        ]
+
+    def test_v100_calculator_skips_nothing(self):
+        # V100 lacks INT8 *compute* but the cast family still fits (casts
+        # are memory ops); the calculator must not crash on any pair.
+        calc = CastCostCalculator(LPBackend(V100))
+        for pair in CAST_PAIRS:
+            assert calc.predict(*pair, 10**5) >= 0.0
+
+
+class TestStatsProbeIsolation:
+    def test_install_recorder_does_not_change_outputs(self):
+        from repro.models import make_mini_model
+        from repro.profiling.stats import StatsRecorder, install_recorder
+        from repro.tensor import Tensor
+
+        rng = new_rng(0)
+        x = Tensor(rng.normal(size=(4, 3, 16, 16)))
+        clean = make_mini_model("mini_vggbn", seed=0)
+        ref = clean(x).numpy()
+
+        probed = make_mini_model("mini_vggbn", seed=0)
+        install_recorder(probed, StatsRecorder())
+        np.testing.assert_array_equal(probed(x).numpy(), ref)
+
+    def test_recorder_counts_match_instrumented_paths(self):
+        from repro.models import make_mini_model
+        from repro.profiling.stats import StatsRecorder, install_recorder
+        from repro.tensor import Tensor
+
+        model = make_mini_model("mini_resnet", seed=0)
+        recorder = StatsRecorder()
+        paths = install_recorder(model, recorder)
+        model(Tensor(new_rng(1).normal(size=(2, 3, 16, 16))))
+        assert set(recorder.snapshot()) == set(paths)
