@@ -1,0 +1,7 @@
+"""Paper-reproduction benchmarks.
+
+``bench_*.py`` files regenerate paper tables/figures under pytest-benchmark;
+``bench_allocator_speed`` is additionally runnable standalone
+(``python -m benchmarks.bench_allocator_speed``) and reports the incremental
+replay engine's speedup over a forced full-rebuild mode.
+"""

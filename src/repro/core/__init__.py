@@ -23,7 +23,7 @@ from repro.core.cost_mapper import (
     output_precision,
     grad_precision,
 )
-from repro.core.replayer import Replayer, SimulationResult
+from repro.core.replayer import Replayer, ReplayerStats, SimulationResult
 from repro.core.simulator import GroundTruthSimulator
 from repro.core.allocator import Allocator, AllocatorConfig
 from repro.core.plan import PrecisionPlan
@@ -42,6 +42,7 @@ __all__ = [
     "output_precision",
     "grad_precision",
     "Replayer",
+    "ReplayerStats",
     "SimulationResult",
     "GroundTruthSimulator",
     "Allocator",

@@ -71,6 +71,12 @@ class AllocationReport:
     recovery_accepted: int
     initial_counts: dict[str, int]
     final_counts: dict[str, int]
+    #: From-scratch LocalDFG constructions performed during the recovery
+    #: loop (the incremental engine keeps this at zero) and the delta
+    #: updates that replaced them.
+    recovery_full_rebuilds: int = 0
+    recovery_incremental_updates: int = 0
+    simulate_calls: int = 0
 
     def summary(self) -> str:
         return (
@@ -105,6 +111,13 @@ class Allocator:
         self.replayer = replayer
         self.indicators = indicators
         self.config = config or AllocatorConfig()
+        self._device_by_type = {
+            w.device.name: w.device for w in replayer.cluster.workers
+        }
+        # (device type, op) -> candidate precisions sorted low-to-high by
+        # bit width.  Device support tables and kernel sets are static, so
+        # this is computed once instead of per recovery trial.
+        self._cand_cache: dict[tuple[str, str], list[Precision]] = {}
 
     # ------------------------------------------------------------------
     # helpers
@@ -127,22 +140,35 @@ class Allocator:
         return groups
 
     def _device_for_type(self, name: str):
-        for w in self.replayer.cluster.workers:
-            if w.device.name == name:
-                return w.device
-        raise KeyError(name)
+        return self._device_by_type[name]
 
     def _candidates_for(self, dag: PrecisionDAG, op: str, device) -> list[Precision]:
-        """Precisions both the op's kernels and the device support."""
-        return [
-            p
-            for p in dag.spec(op).supported_precisions()
-            if device.supports(p)
-        ]
+        """Precisions both the op's kernels and the device support, sorted
+        low-to-high by bit width (cached, read-only)."""
+        key = (device.name, op)
+        cands = self._cand_cache.get(key)
+        if cands is None:
+            cands = sorted(
+                (
+                    p
+                    for p in dag.spec(op).supported_precisions()
+                    if device.supports(p)
+                ),
+                key=lambda p: p.bits,
+            )
+            self._cand_cache[key] = cands
+        return cands
 
     def _apply_to_type(self, ranks: list[int], plan: dict[str, Precision]) -> None:
         for rank in ranks:
             self.replayer.apply_plan(rank, plan)
+
+    def _set_op(self, ranks: list[int], op: str, prec: Precision) -> None:
+        """Single-op delta applied to every same-type rank — the recovery
+        loop's apply/revert primitive (dirties one op instead of re-writing
+        the whole plan)."""
+        for rank in ranks:
+            self.replayer.dags[rank].set_precision(op, prec)
 
     def _memory_ok(self) -> bool:
         for w in self.replayer.cluster.workers:
@@ -171,7 +197,14 @@ class Allocator:
             for op in dag.adjustable_ops():
                 cands = self._candidates_for(dag, op, device)
                 usable = [p for p in cands if p.bits >= target.bits]
-                plan[op] = min(usable, key=lambda p: p.bits) if usable else cands[-1]
+                # No candidate at-or-above the target: fall back to the
+                # op's widest kernel explicitly (don't assume the candidate
+                # list is bit-ordered).
+                plan[op] = (
+                    min(usable, key=lambda p: p.bits)
+                    if usable
+                    else max(cands, key=lambda p: p.bits)
+                )
             self._apply_to_type(ranks, plan)
             if self._memory_ok():
                 return plan
@@ -232,7 +265,7 @@ class Allocator:
                         tuple(
                             min(
                                 [p for p in cands if p.bits >= target.bits]
-                                or [cands[-1]],
+                                or [max(cands, key=lambda p: p.bits)],
                                 key=lambda p: p.bits,
                             )
                             for cands in per_op_cands
@@ -260,10 +293,9 @@ class Allocator:
                 self._apply_to_type(ranks, trial)
                 if not self._memory_ok():
                     continue
-                # Local execution latency (no comm): the device's own DFG.
-                dfg = self.replayer.mappers[ranks[0]].build_local_dfg(
-                    device.name, ranks[0]
-                )
+                # Local execution latency (no comm): the device's own DFG,
+                # delta-updated through the Replayer's cache layers.
+                dfg = self.replayer.local_dfg(ranks[0])
                 t = dfg.compute_time
                 if best is None or t < best[0]:
                     best = (t, trial)
@@ -326,6 +358,10 @@ class Allocator:
                     heap.append((*entry[:2], name, entry[2]))
         heapq.heapify(heap)
 
+        rebuilds_before = self.replayer.full_rebuilds()
+        deltas_before = self.replayer.incremental_updates()
+        sims_before = self.replayer.stats.simulate_calls
+
         while heap and attempts < self.config.max_recovery_steps:
             neg_dec, _, name, op = heapq.heappop(heap)
             ranks = type_ranks[name]
@@ -337,19 +373,19 @@ class Allocator:
             if target is None:
                 continue
             attempts += 1
-            trial = dict(plans[name])
-            trial[op] = target
-            self._apply_to_type(ranks, trial)
+            # One-op delta instead of re-applying the whole plan: the DAGs'
+            # dirty logs then carry exactly this op into the replay engine.
+            self._set_op(ranks, op, target)
             sim = self.replayer.simulate()
             if self._memory_ok() and sim.throughput >= threshold:
-                plans[name] = trial
+                plans[name][op] = target
                 accepted += 1
                 entry = self._heap_entry(dag, device, indicator, op, target, tiebreak)
                 if entry is not None:
                     heapq.heappush(heap, (*entry[:2], name, entry[2]))
             else:
-                # Revert.
-                self._apply_to_type(ranks, plans[name])
+                # Revert the single op.
+                self._set_op(ranks, op, current)
 
         final_sim = self.replayer.simulate()
         report = AllocationReport(
@@ -360,6 +396,11 @@ class Allocator:
             recovery_accepted=accepted,
             initial_counts=initial_counts,
             final_counts=_counts(plans),
+            recovery_full_rebuilds=self.replayer.full_rebuilds() - rebuilds_before,
+            recovery_incremental_updates=(
+                self.replayer.incremental_updates() - deltas_before
+            ),
+            simulate_calls=self.replayer.stats.simulate_calls - sims_before,
         )
         return PrecisionPlan(assignments=plans), report
 

@@ -14,13 +14,27 @@ Responsibilities:
    profiled catalog (``CC_i``) at the op's effective precision and assembled
    into a :class:`LocalDFG`.
 
-Two entry points: :meth:`CostMapper.build_local_dfg` (full rebuild, used by
-the Replayer) and :meth:`CostMapper.apply_change` (the literal incremental
-Algorithm 1, used by the Allocator's inner loop and tested for equivalence
-against the full rebuild).
+Three entry points: :meth:`CostMapper.build_local_dfg` (full rebuild),
+:meth:`CostMapper.current_dfg` (refresh the retained DFG against the DAG's
+dirty log — the Replayer's fast path), and :meth:`CostMapper.apply_change`
+(the incremental Algorithm 1 used by the Allocator's inner loop).
+
+Incremental engine: the mapper retains per-op *segments* — the slice of
+forward nodes (input casts, weight cast, compute) and backward nodes (grad
+casts, compute) each operator contributes — keyed by the DAG's version
+counter.  A precision change re-resolves only the dirty ops' dependent cone
+(:func:`repro.graph.propagation.propagate_dirty`), re-derives segments only
+for the changed ops and their graph neighbours (casts look one hop in each
+direction), and reassembles the execution line from cached segments.  The
+expensive work (cast-model predictions, catalog lookups, node construction)
+is O(affected); bucket membership and the optimizer pass depend only on the
+graph structure and are computed once.  Equivalence with a from-scratch
+:meth:`build_local_dfg` is pinned node-for-node by the test suite.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from repro.common.dtypes import Precision
 from repro.graph.dag import PrecisionDAG
@@ -29,6 +43,7 @@ from repro.graph.propagation import (  # noqa: F401 - canonical re-export
     effective_precisions,
     grad_precision,
     output_precision,
+    propagate_dirty,
 )
 from repro.core.dfg import (
     CommBucket,
@@ -38,7 +53,73 @@ from repro.core.dfg import (
     assign_buckets,
 )
 from repro.profiling.casting import CastCostCalculator
+from repro.profiling.memory import op_memory_contribution
 from repro.profiling.profiler import OperatorCostCatalog
+
+
+class _MapperState:
+    """Retained derivation of the DAG at one version: effective precisions,
+    per-op forward/backward segments, per-op memory contributions, and the
+    last assembled DFG."""
+
+    __slots__ = (
+        "version",
+        "structure",
+        "effective",
+        "fwd_segs",
+        "bwd_segs",
+        "fwd_durs",
+        "bwd_durs",
+        "bwd_pos",
+        "mem_wcopy",
+        "mem_act",
+        "mem_wcopy_total",
+        "mem_act_total",
+        "dfg",
+        "dfg_key",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        structure: int,
+        effective: dict[str, Precision],
+        mem_wcopy: dict[str, int],
+        mem_act: dict[str, int],
+    ) -> None:
+        self.version = version
+        self.structure = structure
+        self.effective = effective
+        self.fwd_segs: dict[str, list[DFGNode]] = {}
+        self.bwd_segs: dict[str, list[DFGNode]] = {}
+        #: Per-segment duration sums, so assembly is O(ops) float adds.
+        self.fwd_durs: dict[str, float] = {}
+        self.bwd_durs: dict[str, float] = {}
+        #: Offset of the BACKWARD-kind node within the op's backward
+        #: segment, or None when its backward cost rounded to zero.
+        self.bwd_pos: dict[str, int | None] = {}
+        self.mem_wcopy = mem_wcopy
+        self.mem_act = mem_act
+        self.mem_wcopy_total = sum(mem_wcopy.values())
+        self.mem_act_total = sum(mem_act.values())
+        self.dfg: LocalDFG | None = None
+        self.dfg_key: tuple[str, int] | None = None
+
+    def set_segments(
+        self,
+        name: str,
+        fwd: list[DFGNode],
+        bwd: list[DFGNode],
+    ) -> None:
+        self.fwd_segs[name] = fwd
+        self.bwd_segs[name] = bwd
+        self.fwd_durs[name] = sum(node.duration for node in fwd)
+        self.bwd_durs[name] = sum(node.duration for node in bwd)
+        pos = None
+        for i, node in enumerate(bwd):
+            if node.kind is NodeKind.BACKWARD:
+                pos = i
+        self.bwd_pos[name] = pos
 
 
 class CostMapper:
@@ -69,6 +150,14 @@ class CostMapper:
         self.cast_calc = cast_calc
         self.device = device
         self.bucket_cap_bytes = bucket_cap_bytes
+        self._state: _MapperState | None = None
+        self._buckets_cache: tuple[int, list[CommBucket]] | None = None
+        self._opt_time_cache: tuple[int, float] | None = None
+        self._weighted_cache: tuple[int, frozenset] | None = None
+        #: Diagnostics: how often the full vs. delta path ran (the allocator
+        #: benchmark asserts zero full rebuilds inside the recovery loop).
+        self.full_rebuilds = 0
+        self.incremental_updates = 0
 
     # ------------------------------------------------------------------
     # catalog lookup with pass-through fallback
@@ -83,107 +172,264 @@ class CostMapper:
         return self.catalog.get(op, Precision.FP32)
 
     # ------------------------------------------------------------------
+    # per-op segment derivation (shared by the full and delta paths)
+    # ------------------------------------------------------------------
+    def _forward_segment(
+        self, name: str, effective: dict[str, Precision]
+    ) -> list[DFGNode]:
+        """Forward nodes this op contributes: input casts (lines 6-10 of
+        Alg. 1), weight cast (lines 11-13), then the compute node."""
+        seg: list[DFGNode] = []
+        spec = self.dag.spec(name)
+        prec = effective[name]
+        for pred in self.dag.predecessors(name):
+            src_prec = output_precision(effective[pred])
+            if src_prec is not prec:
+                cost = self.cast_calc.predict(
+                    src_prec, prec, self.dag.spec(pred).output_elems
+                )
+                if cost > 0:
+                    seg.append(
+                        DFGNode(
+                            f"cast:{pred}->{name}", NodeKind.CAST, cost, op=name
+                        )
+                    )
+        if spec.is_adjustable and spec.has_weight and prec is not Precision.FP32:
+            cost = self.cast_calc.predict(
+                Precision.FP32, prec, spec.weight_elems
+            )
+            if cost > 0:
+                seg.append(DFGNode(f"cast:w:{name}", NodeKind.CAST, cost, op=name))
+        fwd = self._pure_cost(name, prec).forward
+        if fwd > 0:
+            seg.append(DFGNode(name, NodeKind.FORWARD, fwd, op=name))
+        return seg
+
+    def _backward_segment(
+        self, name: str, effective: dict[str, Precision]
+    ) -> list[DFGNode]:
+        """Backward nodes this op contributes: gradient-format casts from
+        successors (lines 17-24; each successor hands back a gradient in its
+        own backward format), then the compute node."""
+        spec = self.dag.spec(name)
+        if spec.kind is OpKind.INPUT:
+            return []  # the graph input's gradient is never materialized
+        seg: list[DFGNode] = []
+        prec = effective[name]
+        my_grad = grad_precision(prec)
+        for succ in self.dag.successors(name):
+            succ_grad = grad_precision(effective[succ])
+            if succ_grad is not my_grad:
+                cost = self.cast_calc.predict(
+                    succ_grad, my_grad, spec.output_elems
+                )
+                if cost > 0:
+                    seg.append(
+                        DFGNode(
+                            f"cast:g:{succ}->{name}", NodeKind.CAST, cost, op=name
+                        )
+                    )
+        bwd = self._pure_cost(name, prec).backward
+        if bwd > 0:
+            seg.append(DFGNode(f"bwd:{name}", NodeKind.BACKWARD, bwd, op=name))
+        return seg
+
+    # ------------------------------------------------------------------
+    # structure-only artifacts (independent of precisions)
+    # ------------------------------------------------------------------
+    def _weighted_set(self) -> frozenset:
+        structure = self.dag.structure_version
+        if self._weighted_cache is None or self._weighted_cache[0] != structure:
+            self._weighted_cache = (
+                structure, frozenset(self.dag.weighted_ops())
+            )
+        return self._weighted_cache[1]
+
+    def _buckets(self) -> list[CommBucket]:
+        """Gradient buckets depend only on graph structure and the cap."""
+        structure = self.dag.structure_version
+        if self._buckets_cache is None or self._buckets_cache[0] != structure:
+            weighted_rev = [
+                (name, self.dag.spec(name).weight_elems * Precision.FP32.nbytes)
+                for name in reversed(self.dag.topo_order())
+                if self.dag.spec(name).has_weight
+            ]
+            self._buckets_cache = (
+                structure,
+                assign_buckets(weighted_rev, self.bucket_cap_bytes),
+            )
+        return self._buckets_cache[1]
+
+    def _optimizer_time(self) -> float:
+        """Optimizer step: bandwidth-bound elementwise pass over all
+        parameters (read w, g, momentum; write w, momentum — 5 FP32 each)."""
+        structure = self.dag.structure_version
+        if self._opt_time_cache is None or self._opt_time_cache[0] != structure:
+            total_weight_elems = self.dag.total_weight_elems()
+            opt_bytes = 5.0 * total_weight_elems * Precision.FP32.nbytes
+            if self.device is not None:
+                opt_time = (
+                    opt_bytes / self.device.effective_bandwidth
+                    + self.device.kernel_launch_overhead
+                )
+            else:
+                # Fall back to the fitted elementwise-pass slope: an
+                # FP32->FP16 cast streams 6 bytes/elem, the optimizer 20.
+                slope = self.cast_calc.model(
+                    Precision.FP32, Precision.FP16
+                ).slope
+                opt_time = slope * total_weight_elems * (20.0 / 6.0)
+            self._opt_time_cache = (structure, opt_time)
+        return self._opt_time_cache[1]
+
+    # ------------------------------------------------------------------
+    # assembly: cached segments -> execution line
+    # ------------------------------------------------------------------
+    def _assemble(self, device_name: str, rank: int) -> LocalDFG:
+        state = self._state
+        assert state is not None
+        dfg = LocalDFG(device_name, rank)
+        topo = self.dag.topo_order()
+        forward: list[DFGNode] = []
+        fwd_total = 0.0
+        for name in topo:
+            seg = state.fwd_segs[name]
+            if seg:
+                forward.extend(seg)
+                fwd_total += state.fwd_durs[name]
+        # Backward pass in reverse topological order, tracking each weighted
+        # op's readiness anchor: its own backward node, or — when its
+        # backward cost rounds to zero — the nearest preceding backward-
+        # stream node (index -1 = ready at forward end), instead of
+        # pessimistically deferring the bucket to the end of the backward.
+        backward: list[DFGNode] = []
+        bwd_total = 0.0
+        anchors: dict[str, int] = {}
+        weighted = self._weighted_set()
+        for name in reversed(topo):
+            seg = state.bwd_segs[name]
+            base = len(backward)
+            if seg:
+                backward.extend(seg)
+                bwd_total += state.bwd_durs[name]
+            if name in weighted:
+                pos = state.bwd_pos[name]
+                anchors[name] = (
+                    base + pos if pos is not None else base + len(seg) - 1
+                )
+        dfg.load_streams(forward, backward, fwd_total, bwd_total)
+        last = len(backward) - 1
+        buckets = self._buckets()
+        ready_after = {
+            bucket.index: max(
+                (anchors.get(op, last) for op in bucket.ops), default=last
+            )
+            for bucket in buckets
+        }
+        dfg.set_buckets(buckets, ready_after)
+        dfg.set_optimizer(self._optimizer_time())
+        state.dfg = dfg
+        state.dfg_key = (device_name, rank)
+        return dfg
+
+    # ------------------------------------------------------------------
     # full DFG construction
     # ------------------------------------------------------------------
     def build_local_dfg(self, device_name: str, rank: int) -> LocalDFG:
-        """Rebuild the device's execution line under the current precisions."""
-        dfg = LocalDFG(device_name, rank)
+        """Rebuild the device's execution line from scratch under the
+        current precisions, replacing any retained incremental state."""
+        self._full_derive()
+        return self._assemble(device_name, rank)
+
+    def _full_derive(self) -> None:
+        """Derive the complete retained state from the DAG (full walk)."""
         effective = effective_precisions(self.dag)
         topo = self.dag.topo_order()
-
-        # ---- forward pass: casts then compute, in topological order.
+        mem_wcopy: dict[str, int] = {}
+        mem_act: dict[str, int] = {}
         for name in topo:
-            spec = self.dag.spec(name)
-            prec = effective[name]
-            # Input casts (lines 6-10 of Alg. 1).
-            for pred in self.dag.predecessors(name):
-                src_prec = output_precision(effective[pred])
-                if src_prec is not prec:
-                    cost = self.cast_calc.predict(
-                        src_prec, prec, self.dag.spec(pred).output_elems
-                    )
-                    if cost > 0:
-                        dfg.add_forward(
-                            DFGNode(
-                                f"cast:{pred}->{name}", NodeKind.CAST, cost, op=name
-                            )
-                        )
-            # Weight cast (lines 11-13).
-            if spec.is_adjustable and spec.has_weight and prec is not Precision.FP32:
-                cost = self.cast_calc.predict(
-                    Precision.FP32, prec, spec.weight_elems
-                )
-                if cost > 0:
-                    dfg.add_forward(
-                        DFGNode(f"cast:w:{name}", NodeKind.CAST, cost, op=name)
-                    )
-            fwd = self._pure_cost(name, prec).forward
-            if fwd > 0:
-                dfg.add_forward(DFGNode(name, NodeKind.FORWARD, fwd, op=name))
-
-        # ---- backward pass: reverse topological order.
-        weighted_rev: list[tuple[str, int]] = []
-        bwd_nodes: list[DFGNode] = []
-        for name in reversed(topo):
-            spec = self.dag.spec(name)
-            if spec.kind is OpKind.INPUT:
-                continue  # the graph input's gradient is never materialized
-            prec = effective[name]
-            my_grad = grad_precision(prec)
-            # Gradient-format casts from successors (lines 17-24): each
-            # successor hands back a gradient in its own backward format.
-            for succ in self.dag.successors(name):
-                succ_grad = grad_precision(effective[succ])
-                if succ_grad is not my_grad:
-                    cost = self.cast_calc.predict(
-                        succ_grad, my_grad, spec.output_elems
-                    )
-                    if cost > 0:
-                        bwd_nodes.append(
-                            DFGNode(
-                                f"cast:g:{succ}->{name}", NodeKind.CAST, cost, op=name
-                            )
-                        )
-            bwd = self._pure_cost(name, prec).backward
-            if bwd > 0:
-                bwd_nodes.append(DFGNode(f"bwd:{name}", NodeKind.BACKWARD, bwd, op=name))
-            if spec.has_weight:
-                weighted_rev.append((name, spec.weight_elems * Precision.FP32.nbytes))
-        for node in bwd_nodes:
-            dfg.add_backward(node)
-
-        # ---- gradient buckets + readiness points.
-        buckets = assign_buckets(weighted_rev, self.bucket_cap_bytes)
-        ready_after: dict[int, int] = {}
-        op_to_bwd_idx = {
-            node.op: i
-            for i, node in enumerate(dfg.backward)
-            if node.kind is NodeKind.BACKWARD
-        }
-        for bucket in buckets:
-            idx = max(
-                (op_to_bwd_idx.get(op, len(dfg.backward) - 1) for op in bucket.ops),
-                default=len(dfg.backward) - 1,
+            wcopy, act = op_memory_contribution(
+                self.dag.spec(name), self.dag.precision(name), effective[name]
             )
-            ready_after[bucket.index] = idx
-        dfg.set_buckets(buckets, ready_after)
-
-        # ---- optimizer step: bandwidth-bound elementwise pass over all
-        # parameters (read w, g, momentum; write w, momentum — 5 FP32 each).
-        total_weight_elems = self.dag.total_weight_elems()
-        opt_bytes = 5.0 * total_weight_elems * Precision.FP32.nbytes
-        if self.device is not None:
-            opt_time = (
-                opt_bytes / self.device.effective_bandwidth
-                + self.device.kernel_launch_overhead
+            mem_wcopy[name] = wcopy
+            mem_act[name] = act
+        state = _MapperState(
+            self.dag.version, self.dag.structure_version,
+            effective, mem_wcopy, mem_act,
+        )
+        for name in topo:
+            state.set_segments(
+                name,
+                self._forward_segment(name, effective),
+                self._backward_segment(name, effective),
             )
-        else:
-            # Fall back to the fitted elementwise-pass slope: an FP32->FP16
-            # cast streams 6 bytes/elem, the optimizer streams 20.
-            slope = self.cast_calc.model(Precision.FP32, Precision.FP16).slope
-            opt_time = slope * total_weight_elems * (20.0 / 6.0)
-        dfg.set_optimizer(opt_time)
-        return dfg
+        self._state = state
+        self.full_rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # incremental refresh (the Replayer's fast path)
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Bring the retained state up to the DAG's current version,
+        re-deriving only the dirty ops' affected neighbourhood (no DFG
+        assembly — :meth:`current_dfg` does that on demand)."""
+        state = self._state
+        if state is None or state.structure != self.dag.structure_version:
+            self._full_derive()
+            return
+        if state.version == self.dag.version:
+            return
+        dirty = self.dag.dirty_since(state.version)
+        changed = propagate_dirty(self.dag, state.effective, dirty)
+        affected = set(changed)
+        for name in changed:
+            affected.update(self.dag.successors(name))
+            affected.update(self.dag.predecessors(name))
+        # Memory contributions depend on assigned + effective precisions
+        # only, so dirty ∪ changed would suffice; the affected superset is
+        # used for uniformity (recomputing an unchanged op is idempotent).
+        affected.update(dirty)
+        for name in affected:
+            state.set_segments(
+                name,
+                self._forward_segment(name, state.effective),
+                self._backward_segment(name, state.effective),
+            )
+            wcopy, act = op_memory_contribution(
+                self.dag.spec(name), self.dag.precision(name),
+                state.effective[name],
+            )
+            state.mem_wcopy_total += wcopy - state.mem_wcopy[name]
+            state.mem_act_total += act - state.mem_act[name]
+            state.mem_wcopy[name] = wcopy
+            state.mem_act[name] = act
+        state.version = self.dag.version
+        state.dfg = None  # stale assembly
+        state.dfg_key = None
+        self.incremental_updates += 1
+
+    def current_dfg(self, device_name: str, rank: int) -> LocalDFG:
+        """Return a DFG consistent with the DAG's current precisions,
+        reusing the retained per-op segments for everything outside the
+        dirty ops' affected neighbourhood."""
+        self.refresh()
+        state = self._state
+        assert state is not None
+        if state.dfg is not None and state.dfg_key == (device_name, rank):
+            return state.dfg
+        return self._assemble(device_name, rank)
+
+    def memory_components(self) -> tuple[int, int, int]:
+        """(weight-copy bytes, activation bytes, workspace bytes) under the
+        current precisions, maintained incrementally.  Refreshes the
+        retained state first; the structural terms (master weights,
+        gradients, optimizer state) are precision-independent and live with
+        the caller's :class:`~repro.profiling.memory.MemoryModel`."""
+        self.refresh()
+        state = self._state
+        assert state is not None
+        top2 = heapq.nlargest(2, state.mem_act.values())
+        return state.mem_wcopy_total, state.mem_act_total, int(sum(top2))
 
     # ------------------------------------------------------------------
     # Algorithm 1: incremental change
@@ -192,11 +438,22 @@ class CostMapper:
         self, op: str, new_precision: Precision, device_name: str = "", rank: int = 0
     ) -> LocalDFG:
         """CostMapping(G_i, o, b_io, CC_i, CP, DFG) — change one operator's
-        precision, cascade through dependent successors, rebuild the DFG.
+        precision and delta-update the retained DFG.
 
-        The cascade is implicit: dependent precisions are *derived* from
-        adjustable ones by :func:`effective_precisions` at rebuild time,
-        which is equivalent to the BFS of lines 16-19 (tested).
+        The true incremental Algorithm 1: line 3's UpdateDAG marks ``op``
+        dirty; the BFS of lines 16-19 is :func:`propagate_dirty`, which
+        re-resolves only the dependent cone downstream of ``op`` and stops
+        where effective precisions come out unchanged.  Forward casts,
+        weight casts, backward gradient casts and pure-kernel costs are then
+        re-derived only for the changed ops and their immediate neighbours
+        (one hop each way — exactly the nodes whose cast decisions read a
+        changed precision), and the execution line is reassembled from the
+        retained segments of every untouched op.  Gradient-bucket membership
+        and the optimizer pass are structural and never recomputed here.
+        With no retained state (first call) this degenerates to a full
+        :meth:`build_local_dfg`; afterwards the cost is O(affected
+        subgraph), not O(graph) — and the result is node-for-node identical
+        to a from-scratch rebuild (equivalence-tested).
         """
         spec = self.dag.spec(op)
         if not spec.is_adjustable:
@@ -206,4 +463,4 @@ class CostMapper:
                 f"{op!r} has no {new_precision.value} kernel"
             )
         self.dag.set_precision(op, new_precision)  # line 3: UpdateDAG
-        return self.build_local_dfg(device_name, rank)
+        return self.current_dfg(device_name, rank)

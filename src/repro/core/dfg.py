@@ -74,15 +74,25 @@ class LocalDFG:
         self.optimizer: DFGNode | None = None
         self.buckets: list[CommBucket] = []
         #: bucket index -> index into ``backward`` after whose completion the
-        #: bucket is ready for all-reduce.
+        #: bucket is ready for all-reduce (-1 = ready when the forward ends,
+        #: i.e. before any backward node runs).
         self.bucket_ready_after: dict[int, int] = {}
+        # Running stream totals, maintained on append so the hot replay loop
+        # never re-sums node lists.
+        self._fwd_total = 0.0
+        self._bwd_total = 0.0
+        self._ready_cache: dict[int, float] | None = None
 
     # ------------------------------------------------------------------
     def add_forward(self, node: DFGNode) -> None:
         self.forward.append(node)
+        self._fwd_total += node.duration
+        self._ready_cache = None
 
     def add_backward(self, node: DFGNode) -> None:
         self.backward.append(node)
+        self._bwd_total += node.duration
+        self._ready_cache = None
 
     def set_optimizer(self, duration: float) -> None:
         self.optimizer = DFGNode("optimizer", NodeKind.OPTIMIZER, duration)
@@ -94,15 +104,50 @@ class LocalDFG:
             raise ValueError("every bucket needs a readiness point")
         self.buckets = buckets
         self.bucket_ready_after = ready_after
+        self._ready_cache = None
+
+    def load_streams(
+        self,
+        forward: list[DFGNode],
+        backward: list[DFGNode],
+        forward_time: float,
+        backward_time: float,
+    ) -> None:
+        """Install pre-built node streams with precomputed totals (the cost
+        mapper's assembler path; equivalent to repeated ``add_*`` calls)."""
+        self.forward = forward
+        self.backward = backward
+        self._fwd_total = forward_time
+        self._bwd_total = backward_time
+        self._ready_cache = None
+
+    def view_for_rank(self, rank: int) -> "LocalDFG":
+        """A lightweight alias of this DFG under another rank.
+
+        Same-type workers run identical plans, so the Replayer builds one
+        DFG per device *type* and hands each rank a view that shares every
+        node list (read-only by convention; the cost mapper never mutates a
+        published DFG — incremental updates assemble a fresh one).
+        """
+        view = LocalDFG(self.device_name, rank)
+        view.forward = self.forward
+        view.backward = self.backward
+        view.optimizer = self.optimizer
+        view.buckets = self.buckets
+        view.bucket_ready_after = self.bucket_ready_after
+        view._fwd_total = self._fwd_total
+        view._bwd_total = self._bwd_total
+        view._ready_cache = self._ready_cache
+        return view
 
     # ------------------------------------------------------------------
     @property
     def forward_time(self) -> float:
-        return sum(n.duration for n in self.forward)
+        return self._fwd_total
 
     @property
     def backward_time(self) -> float:
-        return sum(n.duration for n in self.backward)
+        return self._bwd_total
 
     @property
     def compute_time(self) -> float:
@@ -119,18 +164,26 @@ class LocalDFG:
 
     def bucket_ready_times(self) -> dict[int, float]:
         """Bucket index -> CUDA-stream time its gradients are complete,
-        measured from forward start."""
-        t = self.forward_time
+        measured from forward start.
+
+        Computed from a prefix sum over the backward stream so multiple
+        buckets may share one readiness index (e.g. a zero-backward-cost op
+        anchored to its nearest preceding backward node) and index ``-1``
+        means ready at forward end.  Cached until a node or the bucket map
+        changes; callers must treat the returned dict as read-only.
+        """
+        if self._ready_cache is not None:
+            return self._ready_cache
+        prefix = [self.forward_time]
+        for node in self.backward:
+            prefix.append(prefix[-1] + node.duration)
+        last = len(self.backward) - 1
         ready: dict[int, float] = {}
-        cum = t
-        after_to_bucket = {v: k for k, v in self.bucket_ready_after.items()}
-        for i, node in enumerate(self.backward):
-            cum += node.duration
-            if i in after_to_bucket:
-                ready[after_to_bucket[i]] = cum
-        # Buckets mapped past the last node (defensive) are ready at the end.
         for b in self.buckets:
-            ready.setdefault(b.index, cum)
+            idx = self.bucket_ready_after.get(b.index, last)
+            idx = min(idx, last)  # defensive: clamp stale indices to the end
+            ready[b.index] = prefix[idx + 1] if idx >= 0 else prefix[0]
+        self._ready_cache = ready
         return ready
 
 

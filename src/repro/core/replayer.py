@@ -42,6 +42,19 @@ class TimelineEvent:
 
 
 @dataclasses.dataclass
+class ReplayerStats:
+    """Counters for the incremental replay engine (diagnostics/benchmarks)."""
+
+    simulate_calls: int = 0
+    #: Per-rank DFG served untouched (DAG version unchanged since last use).
+    local_cache_hits: int = 0
+    #: Per-rank DFG served as a view of another same-type rank's DFG.
+    local_shared_hits: int = 0
+    memory_evals: int = 0
+    memory_cache_hits: int = 0
+
+
+@dataclasses.dataclass
 class SimulationResult:
     """Outcome of one global-DFG simulation."""
 
@@ -80,11 +93,30 @@ class Replayer:
         cast_calcs: dict[int, CastCostCalculator],
         optimizer_slots: int = 1,
         bucket_cap_bytes: int = 25 * 1024**2,
+        incremental: bool = True,
     ) -> None:
         self.cluster = cluster
         self.dags = dags
         self.memory_model = MemoryModel(optimizer_slots=optimizer_slots)
+        #: When False every simulate() rebuilds every rank's DFG and memory
+        #: estimate from scratch (the pre-caching behaviour) — kept as the
+        #: reference mode for equivalence tests and the speed benchmark.
+        self.incremental = incremental
+        self.stats = ReplayerStats()
         self.mappers: dict[int, CostMapper] = {}
+        self._workers_by_rank = {w.rank: w for w in cluster.workers}
+        # rank -> (dag version, structure version, LocalDFG)
+        self._dfg_cache: dict[int, tuple[int, int, LocalDFG]] = {}
+        # device type -> (precision signature, structure fingerprint,
+        # LocalDFG) — fingerprints, not per-instance counters, because the
+        # entries are shared across different DAG objects.
+        self._type_dfg_cache: dict[str, tuple[tuple, int, LocalDFG]] = {}
+        # rank -> (dag version, MemoryEstimate)
+        self._mem_cache: dict[int, tuple[int, MemoryEstimate]] = {}
+        # (structure fingerprint, precision signature) -> MemoryEstimate
+        # (structurally identical DAGs with equal signatures have identical
+        # footprints, device-independent)
+        self._mem_sig_cache: dict[tuple, MemoryEstimate] = {}
         for worker in cluster.workers:
             rank = worker.rank
             self.mappers[rank] = CostMapper(
@@ -100,27 +132,98 @@ class Replayer:
         """Install a per-op precision plan on one worker's DAG."""
         self.dags[rank].apply_plan(plan)
 
+    def full_rebuilds(self) -> int:
+        """Total from-scratch LocalDFG constructions across all mappers."""
+        return sum(m.full_rebuilds for m in self.mappers.values())
+
+    def incremental_updates(self) -> int:
+        """Total delta DFG updates across all mappers."""
+        return sum(m.incremental_updates for m in self.mappers.values())
+
+    # ------------------------------------------------------------------
+    def local_dfg(self, rank: int) -> LocalDFG:
+        """The rank's LocalDFG under its current precisions.
+
+        Incremental mode consults two cache layers before touching the cost
+        mapper: (1) the per-rank cache, valid while the rank's DAG version
+        is unchanged; (2) the per-device-type cache — same-type ranks run
+        identical plans, so a rank whose precision signature matches its
+        type's last-built DFG gets a shared view instead of a rebuild.  Only
+        a genuinely novel assignment reaches the mapper, and there it costs
+        a delta update, not a rebuild.
+        """
+        worker = self._workers_by_rank[rank]
+        if not self.incremental:
+            return self.mappers[rank].build_local_dfg(worker.device.name, rank)
+        dag = self.dags[rank]
+        version, structure = dag.version, dag.structure_version
+        entry = self._dfg_cache.get(rank)
+        if entry is not None and entry[0] == version and entry[1] == structure:
+            self.stats.local_cache_hits += 1
+            return entry[2]
+        sig = dag.precision_signature()
+        fingerprint = dag.structure_fingerprint()
+        tname = worker.device.name
+        tentry = self._type_dfg_cache.get(tname)
+        if tentry is not None and tentry[0] == sig and tentry[1] == fingerprint:
+            self.stats.local_shared_hits += 1
+            shared = tentry[2]
+            dfg = shared if shared.rank == rank else shared.view_for_rank(rank)
+        else:
+            dfg = self.mappers[rank].current_dfg(tname, rank)
+            self._type_dfg_cache[tname] = (sig, fingerprint, dfg)
+        self._dfg_cache[rank] = (version, structure, dfg)
+        return dfg
+
     def build_global_dfg(self) -> GlobalDFG:
-        locals_ = [
-            self.mappers[w.rank].build_local_dfg(w.device.name, w.rank)
-            for w in self.cluster.workers
-        ]
-        return GlobalDFG(locals_)
+        return GlobalDFG([self.local_dfg(w.rank) for w in self.cluster.workers])
 
     # ------------------------------------------------------------------
     def simulate(self, collect_timeline: bool = False) -> SimulationResult:
         """Estimate one iteration's latency under current precisions."""
+        self.stats.simulate_calls += 1
         gdfg = self.build_global_dfg()
         return simulate_global_dfg(
             gdfg, self.cluster, collect_timeline=collect_timeline,
             memory={
-                w.rank: self.memory_model.estimate(self.dags[w.rank])
+                w.rank: self.memory_estimate(w.rank)
                 for w in self.cluster.workers
             },
         )
 
     def memory_estimate(self, rank: int) -> MemoryEstimate:
-        return self.memory_model.estimate(self.dags[rank])
+        dag = self.dags[rank]
+        if not self.incremental:
+            return self.memory_model.estimate(dag)
+        version = dag.version
+        entry = self._mem_cache.get(rank)
+        if entry is not None and entry[0] == version:
+            self.stats.memory_cache_hits += 1
+            return entry[1]
+        sig_key = (dag.structure_fingerprint(), dag.precision_signature())
+        est = self._mem_sig_cache.get(sig_key)
+        if est is None:
+            # Precision-dependent terms come from the mapper's incrementally
+            # maintained per-op contributions (O(affected), not O(graph));
+            # the structural terms are precision-independent.
+            self.stats.memory_evals += 1
+            wcopies, acts, workspace = self.mappers[rank].memory_components()
+            weights = dag.total_weight_elems() * Precision.FP32.nbytes
+            est = MemoryEstimate(
+                weights=weights,
+                weight_copies=wcopies,
+                gradients=weights,
+                optimizer=self.memory_model.optimizer_slots * weights,
+                activations=acts,
+                workspace=workspace,
+            )
+            if len(self._mem_sig_cache) > 8192:
+                self._mem_sig_cache.clear()  # bound growth over long searches
+            self._mem_sig_cache[sig_key] = est
+        else:
+            self.stats.memory_cache_hits += 1
+        self._mem_cache[rank] = (version, est)
+        return est
 
 
 def simulate_global_dfg(

@@ -112,7 +112,7 @@ def prepare_methods(
     )
     comm = sum(
         cluster.allreduce_time(b.nbytes)
-        for b in replayer.mappers[0].build_local_dfg("x", 0).buckets
+        for b in replayer.local_dfg(0).buckets
     )
     dbs_iter = dbs_compute + comm
     dbs = MethodPlan("DBS", {w.rank: {} for w in cluster.workers},

@@ -23,11 +23,44 @@ class PrecisionDAG:
     Nodes are operator names; each holds an :class:`OperatorSpec` and a
     :class:`Precision`.  The graph is validated to be a DAG with a unique
     root (the input node) on :meth:`validate`.
+
+    Change tracking (incremental replay engine): every *effective* precision
+    mutation bumps :attr:`version` and records the op in a dirty log, so
+    consumers that retain derived state (Cost Mappers, the Replayer's DFG
+    cache, memoized memory estimates) can ask :meth:`dirty_since` for exactly
+    the ops that changed since they last looked.  Structural edits bump
+    :attr:`structure_version` instead, which additionally invalidates the
+    cached topological order.
     """
 
     def __init__(self) -> None:
         self._g = nx.DiGraph()
         self._depth_cache: dict[str, int] | None = None
+        self._version = 0
+        self._structure_version = 0
+        #: op -> version at which its precision last changed.
+        self._dirty_log: dict[str, int] = {}
+        self._topo_cache: list[str] | None = None
+        self._topo_index_cache: dict[str, int] | None = None
+        self._adjustable_cache: list[str] | None = None
+        self._weighted_cache: list[str] | None = None
+        self._independent_cache: list[str] | None = None
+        self._sig_ops_cache: list[str] | None = None
+        self._weight_elems_cache: int | None = None
+        self._sig_cache: tuple[int, tuple[Precision, ...]] | None = None
+        self._fingerprint_cache: tuple[int, int] | None = None
+
+    def _invalidate_structure(self) -> None:
+        self._depth_cache = None
+        self._topo_cache = None
+        self._topo_index_cache = None
+        self._adjustable_cache = None
+        self._weighted_cache = None
+        self._independent_cache = None
+        self._sig_ops_cache = None
+        self._weight_elems_cache = None
+        self._sig_cache = None
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -48,7 +81,9 @@ class PrecisionDAG:
                     f"operator {spec.name!r} references unknown input {src!r}"
                 )
             self._g.add_edge(src, spec.name)
-        self._depth_cache = None
+        self._version += 1
+        self._structure_version += 1
+        self._invalidate_structure()
         return spec.name
 
     def copy(self) -> "PrecisionDAG":
@@ -76,7 +111,87 @@ class PrecisionDAG:
         return self._g.nodes[name]["precision"]
 
     def set_precision(self, name: str, precision) -> None:
-        self._g.nodes[name]["precision"] = parse_precision(precision)
+        prec = parse_precision(precision)
+        node = self._g.nodes[name]
+        if node["precision"] is prec:
+            return  # no-op writes must not dirty downstream caches
+        node["precision"] = prec
+        self._version += 1
+        self._dirty_log[name] = self._version
+        self._sig_cache = None
+
+    # ------------------------------------------------------------------
+    # change tracking
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every effective mutation."""
+        return self._version
+
+    @property
+    def structure_version(self) -> int:
+        """Monotone counter bumped on node/edge insertion only."""
+        return self._structure_version
+
+    def dirty_since(self, version: int) -> set[str]:
+        """Ops whose precision changed strictly after ``version``."""
+        if version >= self._version:
+            return set()
+        return {op for op, v in self._dirty_log.items() if v > version}
+
+    def precision_signature(self) -> tuple[Precision, ...]:
+        """Hashable fingerprint of the assigned precisions that determine
+        derived artifacts, in topological order.
+
+        Covers every non-dependent op (dependent ops *derive* their compute
+        precision from inputs) plus every weighted op regardless of
+        category (the memory model reads a weighted op's assigned precision
+        for its low-precision weight copy).  Two DAGs with equal
+        :meth:`structure_fingerprint` and equal signatures are therefore
+        interchangeable for replay and memory estimation.  Cached per
+        version.
+        """
+        if self._sig_cache is not None and self._sig_cache[0] == self._version:
+            return self._sig_cache[1]
+        if self._sig_ops_cache is None:
+            self._sig_ops_cache = [
+                n
+                for n in self.topo_order()
+                if not self.spec(n).is_dependent or self.spec(n).has_weight
+            ]
+        sig = tuple(self.precision(n) for n in self._sig_ops_cache)
+        self._sig_cache = (self._version, sig)
+        return sig
+
+    def structure_fingerprint(self) -> int:
+        """Hash identifying the graph's *structure* (op names, kinds,
+        shapes, edges) independent of precision assignments.
+
+        Cross-DAG caches (the Replayer's per-device-type DFG and memory
+        layers) key on this instead of the per-instance
+        :attr:`structure_version` counter, which says nothing about whether
+        two different DAG objects are actually the same graph.  Cached per
+        structure version.
+        """
+        if (
+            self._fingerprint_cache is not None
+            and self._fingerprint_cache[0] == self._structure_version
+        ):
+            return self._fingerprint_cache[1]
+        fp = hash(
+            tuple(
+                (
+                    n,
+                    self.spec(n).kind.value,
+                    self.spec(n).output_shape,
+                    self.spec(n).weight_shape,
+                    tuple(self._g.predecessors(n)),
+                )
+                for n in self.topo_order()
+            )
+        )
+        self._fingerprint_cache = (self._structure_version, fp)
+        return fp
 
     def nodes(self) -> Iterator[str]:
         return iter(self._g.nodes)
@@ -88,14 +203,46 @@ class PrecisionDAG:
         return list(self._g.successors(name))
 
     def topo_order(self) -> list[str]:
-        return list(nx.topological_sort(self._g))
+        """Topological order, cached until the structure changes.
+
+        The returned list is shared — treat it as read-only.
+        """
+        if self._topo_cache is None:
+            self._topo_cache = list(nx.topological_sort(self._g))
+        return self._topo_cache
+
+    def topo_index(self) -> dict[str, int]:
+        """Name -> position in :meth:`topo_order` (cached, read-only)."""
+        if self._topo_index_cache is None:
+            self._topo_index_cache = {
+                n: i for i, n in enumerate(self.topo_order())
+            }
+        return self._topo_index_cache
 
     def adjustable_ops(self) -> list[str]:
-        """Names of ``O_adj`` operators, in topological order."""
-        return [n for n in self.topo_order() if self.spec(n).is_adjustable]
+        """Names of ``O_adj`` operators, in topological order (cached,
+        read-only)."""
+        if self._adjustable_cache is None:
+            self._adjustable_cache = [
+                n for n in self.topo_order() if self.spec(n).is_adjustable
+            ]
+        return self._adjustable_cache
 
     def weighted_ops(self) -> list[str]:
-        return [n for n in self.topo_order() if self.spec(n).has_weight]
+        if self._weighted_cache is None:
+            self._weighted_cache = [
+                n for n in self.topo_order() if self.spec(n).has_weight
+            ]
+        return self._weighted_cache
+
+    def independent_ops(self) -> list[str]:
+        """Ops whose precision is assigned rather than derived (adjustable
+        and fixed categories), in topological order (cached, read-only)."""
+        if self._independent_cache is None:
+            self._independent_cache = [
+                n for n in self.topo_order() if not self.spec(n).is_dependent
+            ]
+        return self._independent_cache
 
     def precision_plan(self) -> dict[str, Precision]:
         """Snapshot of current per-op precisions."""
@@ -158,7 +305,11 @@ class PrecisionDAG:
         )
 
     def total_weight_elems(self) -> int:
-        return int(sum(self.spec(n).weight_elems for n in self._g.nodes))
+        if self._weight_elems_cache is None:
+            self._weight_elems_cache = int(
+                sum(self.spec(n).weight_elems for n in self._g.nodes)
+            )
+        return self._weight_elems_cache
 
     def summary(self) -> str:
         """One-line description used in reports."""

@@ -10,9 +10,15 @@ simulator:
 * :func:`effective_precisions` — resolve every node's *compute* precision:
   dependent operators promote to the widest input (footnote 1's CUDA
   type-promotion rule), cascading adjustable-op changes downstream.
+* :func:`propagate_dirty` — the delta mode: given a previously resolved
+  mapping and the set of ops whose assigned precision changed, re-resolve
+  only the dirty ops' downstream dependent cone (O(affected) instead of
+  O(graph)).
 """
 
 from __future__ import annotations
+
+import heapq
 
 from repro.common.dtypes import Precision
 from repro.graph.dag import PrecisionDAG
@@ -46,3 +52,46 @@ def effective_precisions(dag: PrecisionDAG) -> dict[str, Precision]:
         in_precs = [output_precision(effective[p]) for p in preds] or [Precision.FP32]
         effective[name] = max(in_precs, key=lambda p: p.bits)
     return effective
+
+
+def propagate_dirty(
+    dag: PrecisionDAG,
+    effective: dict[str, Precision],
+    dirty: set[str],
+) -> set[str]:
+    """Delta-update ``effective`` (in place) for a set of dirty ops.
+
+    ``effective`` must be a complete resolution of the DAG *before* the
+    assigned precisions of ``dirty`` changed.  Nodes are revisited in
+    topological order starting from the dirty set; propagation stops at any
+    node whose effective precision comes out unchanged (its downstream cone
+    cannot be affected).  Returns the set of ops whose effective precision
+    actually changed — equal, by construction, to the diff against a full
+    :func:`effective_precisions` pass (pinned by the equivalence tests).
+    """
+    if not dirty:
+        return set()
+    order = dag.topo_index()
+    worklist = [(order[name], name) for name in dirty]
+    heapq.heapify(worklist)
+    queued = set(dirty)
+    changed: set[str] = set()
+    while worklist:
+        _, name = heapq.heappop(worklist)
+        spec = dag.spec(name)
+        if spec.category is not OpCategory.DEPENDENT:
+            new = dag.precision(name)
+        else:
+            preds = dag.predecessors(name)
+            in_precs = [
+                output_precision(effective[p]) for p in preds
+            ] or [Precision.FP32]
+            new = max(in_precs, key=lambda p: p.bits)
+        if new is not effective[name]:
+            effective[name] = new
+            changed.add(name)
+            for succ in dag.successors(name):
+                if succ not in queued:
+                    queued.add(succ)
+                    heapq.heappush(worklist, (order[succ], succ))
+    return changed

@@ -51,6 +51,31 @@ _RECOMPUTE_KINDS = frozenset(
 )
 
 
+def op_memory_contribution(
+    spec, assigned: Precision, effective: Precision
+) -> tuple[int, int]:
+    """(low-precision weight-copy bytes, retained activation bytes) of one op.
+
+    The single source of truth for the per-operator accounting policy —
+    shared by :meth:`MemoryModel.estimate` (full walk) and the Cost Mapper's
+    incrementally maintained memory components, so the delta path cannot
+    drift from the reference.
+    """
+    wcopy = 0
+    if spec.has_weight and assigned is not Precision.FP32:
+        wcopy = spec.weight_elems * assigned.nbytes
+    kind = spec.kind
+    if kind in (OpKind.LOSS, OpKind.INPUT) or kind in _RECOMPUTE_KINDS:
+        return wcopy, 0
+    if kind in _MASK_KINDS:
+        per_elem = 1  # mask / pooling indices
+    elif kind in _GEMM_KINDS:
+        per_elem = assigned.nbytes  # saved at kernel precision
+    else:
+        per_elem = effective.nbytes
+    return wcopy, spec.output_elems * per_elem
+
+
 @dataclasses.dataclass(frozen=True)
 class MemoryEstimate:
     """Byte-level breakdown of one device's training footprint."""
@@ -102,19 +127,10 @@ class MemoryModel:
             if spec.has_weight:
                 weights += spec.weight_elems * fp32
                 gradients += spec.weight_elems * fp32
-                if assigned is not Precision.FP32:
-                    weight_copies += spec.weight_elems * assigned.nbytes
-            if spec.kind in (OpKind.LOSS, OpKind.INPUT):
-                continue
-            if spec.kind in _RECOMPUTE_KINDS:
-                continue  # zero retained bytes (recompute policy)
-            if spec.kind in _MASK_KINDS:
-                per_elem = 1  # mask / pooling indices
-            elif spec.kind in _GEMM_KINDS:
-                per_elem = assigned.nbytes  # saved at kernel precision
-            else:
-                per_elem = effective[name].nbytes
-            act_bytes = spec.output_elems * per_elem
+            wcopy, act_bytes = op_memory_contribution(
+                spec, assigned, effective[name]
+            )
+            weight_copies += wcopy
             activations += act_bytes
             act_sizes.append(act_bytes)
         optimizer = self.optimizer_slots * weights
