@@ -1,0 +1,163 @@
+"""Experiment sweep engine: serial vs parallel vs cached execution.
+
+Runs the cheap slice of the evaluation grid three ways — serial cold
+(empty artifact store), parallel cold (fresh store, worker processes), and
+a cached re-run against the serial store — then verifies the invariants
+the sweep engine promises:
+
+* the cached re-run recomputes **zero** cells (every fingerprint hits);
+* the parallel run's artifacts are **byte-identical** to the serial run's
+  (determinism fixes make results process-independent);
+* the cached replay is >= 10x faster than the cold sweep (headline number).
+
+Writes timings and counters to ``BENCH_sweep.json``.
+
+Standalone: ``python -m benchmarks.bench_sweep [--small] [output.json]``.
+The tier-1 suite runs a scaled-down smoke invocation
+(``tests/test_bench_sweep.py``) so cache or parity regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.sweep import (
+    ScenarioGrid,
+    SweepRunner,
+    model_structure_fingerprint,
+)
+
+#: The cheap experiments (no executable training) — enough cells that the
+#: cold sweep takes seconds while the cached replay takes milliseconds.
+FULL_EXPERIMENTS = ("table1", "table3", "fig4", "fig6", "fig7", "fig8")
+#: Scaled down for the tier-1 smoke test.
+SMALL_EXPERIMENTS = ("table1", "fig4", "fig7")
+
+
+def _outcome_stats(report) -> dict:
+    return {
+        "cells": len(report.outcomes),
+        "computed": len(report.computed),
+        "cached": len(report.cached),
+        "failed": len(report.failed),
+        "wall_seconds": report.wall_seconds,
+        "per_cell_seconds": {
+            o.cell_id: o.elapsed for o in report.outcomes
+        },
+    }
+
+
+def _artifact_bytes(store: ArtifactStore) -> dict[str, bytes]:
+    return {
+        str(path.relative_to(store.root)): path.read_bytes()
+        for path in store.entries()
+    }
+
+
+def run_bench(
+    small: bool = False, path: str | Path = "BENCH_sweep.json", jobs: int = 2
+) -> dict:
+    """Run the three sweep modes, compare, write the JSON report, return it."""
+    experiments = SMALL_EXPERIMENTS if small else FULL_EXPERIMENTS
+    grid = ScenarioGrid(experiments, protocols=("quick",))
+    cells = grid.cells()
+
+    with tempfile.TemporaryDirectory(prefix="bench_sweep_") as tmp:
+        serial_store = ArtifactStore(Path(tmp) / "serial")
+        parallel_store = ArtifactStore(Path(tmp) / "parallel")
+
+        # Each timed phase pays fingerprint computation (model graph
+        # construction) from scratch, like a fresh CLI invocation would —
+        # otherwise the parent-process lru_cache warmed by the first run
+        # flatters the later timings.
+        model_structure_fingerprint.cache_clear()
+        t0 = time.perf_counter()
+        serial = SweepRunner(store=serial_store, jobs=1).run(cells)
+        serial_wall = time.perf_counter() - t0
+
+        model_structure_fingerprint.cache_clear()
+        t0 = time.perf_counter()
+        parallel = SweepRunner(store=parallel_store, jobs=jobs).run(cells)
+        parallel_wall = time.perf_counter() - t0
+
+        model_structure_fingerprint.cache_clear()
+        t0 = time.perf_counter()
+        cached = SweepRunner(store=serial_store, jobs=1).run(cells)
+        cached_wall = time.perf_counter() - t0
+
+        artifacts_identical = _artifact_bytes(serial_store) == _artifact_bytes(
+            parallel_store
+        )
+
+    payload = {
+        "setup": {
+            "experiments": list(experiments),
+            "protocol": "quick",
+            "jobs": jobs,
+            "mode": "small" if small else "full",
+        },
+        "cells": [c.cell_id for c in cells],
+        "wall_seconds_serial_cold": serial_wall,
+        "wall_seconds_parallel_cold": parallel_wall,
+        "wall_seconds_cached": cached_wall,
+        "speedup_cached_vs_cold": serial_wall / max(cached_wall, 1e-12),
+        "speedup_parallel_vs_serial": serial_wall / max(parallel_wall, 1e-12),
+        "recomputed_cells_on_rerun": len(cached.computed),
+        "artifacts_identical": artifacts_identical,
+        "serial_cold": _outcome_stats(serial),
+        "parallel_cold": _outcome_stats(parallel),
+        "cached_rerun": _outcome_stats(cached),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    small = "--small" in argv
+    unknown = [a for a in argv if a.startswith("--") and a != "--small"]
+    if unknown:
+        print(f"unknown option(s): {', '.join(unknown)}", file=sys.stderr)
+        print(
+            "usage: python -m benchmarks.bench_sweep [--small] [output.json]",
+            file=sys.stderr,
+        )
+        return 2
+    paths = [a for a in argv if not a.startswith("--")]
+    path = paths[0] if paths else (
+        "BENCH_sweep_small.json" if small else "BENCH_sweep.json"
+    )
+    payload = run_bench(small=small, path=path)
+    print(
+        f"serial cold: {payload['wall_seconds_serial_cold']:.3f}s, "
+        f"parallel cold (jobs={payload['setup']['jobs']}): "
+        f"{payload['wall_seconds_parallel_cold']:.3f}s, "
+        f"cached: {payload['wall_seconds_cached']:.3f}s "
+        f"-> {payload['speedup_cached_vs_cold']:.1f}x cached speedup"
+    )
+    print(
+        f"rerun recomputed {payload['recomputed_cells_on_rerun']} of "
+        f"{len(payload['cells'])} cells; parallel artifacts identical: "
+        f"{payload['artifacts_identical']}"
+    )
+    print(f"wrote {path}")
+    ok = (
+        payload["artifacts_identical"]
+        and payload["recomputed_cells_on_rerun"] == 0
+        and payload["cached_rerun"]["failed"] == 0
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,12 @@ from repro.common.errors import (
     InfeasiblePlanError,
 )
 from repro.common.rng import new_rng, spawn_rngs
+from repro.common.stable_hash import (
+    canonical_encode,
+    stable_digest,
+    stable_hash,
+    stable_mod,
+)
 from repro.common.units import (
     KB,
     MB,
@@ -47,6 +53,10 @@ __all__ = [
     "InfeasiblePlanError",
     "new_rng",
     "spawn_rngs",
+    "canonical_encode",
+    "stable_digest",
+    "stable_hash",
+    "stable_mod",
     "KB",
     "MB",
     "GB",

@@ -23,12 +23,36 @@ fig8     Indicator rank trace over early training (Fig. 8)
 """
 
 from repro.experiments.base import ExperimentResult, format_table
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    SCENARIOS,
+    ScenarioAxes,
+    Variant,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.sweep import (
+    CellOutcome,
+    ScenarioCell,
+    ScenarioGrid,
+    SweepReport,
+    SweepRunner,
+)
 
 __all__ = [
     "ExperimentResult",
     "format_table",
     "EXPERIMENTS",
+    "SCENARIOS",
+    "ScenarioAxes",
+    "Variant",
     "get_experiment",
     "run_experiment",
+    "ArtifactStore",
+    "CellOutcome",
+    "ScenarioCell",
+    "ScenarioGrid",
+    "SweepReport",
+    "SweepRunner",
 ]

@@ -1,0 +1,112 @@
+"""Content-addressed artifact store for experiment results.
+
+Each sweep cell's :class:`~repro.experiments.base.ExperimentResult` is
+written to ``<root>/<experiment_id>/<fingerprint>.json``, where the
+fingerprint is a :func:`repro.common.stable_hash.stable_digest` over the
+cell's code-independent inputs (graph structure fingerprints, cluster
+preset, protocol, seed — see :meth:`ScenarioCell.fingerprint`).  Re-running
+a sweep therefore replays cached cells and recomputes only cells whose
+inputs changed — the experiments-layer analogue of the incremental replay
+engine's cross-DAG caches.
+
+Artifact bytes are deterministic: sorted keys, fixed indentation, no
+timings or host metadata inside the file.  A parallel sweep and a serial
+sweep of the same grid write byte-identical artifacts (pinned by
+``tests/test_sweep.py``), and writes are atomic (temp file + ``os.replace``)
+so concurrent workers can never expose a torn artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.experiments.base import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.sweep import ScenarioCell
+
+#: On-disk schema version; bump to invalidate every cached artifact at once.
+ARTIFACT_FORMAT = 1
+
+
+class ArtifactStore:
+    """Filesystem-backed, content-addressed cache of experiment results."""
+
+    def __init__(self, root: str | os.PathLike = ".qsync-artifacts") -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, cell: "ScenarioCell", fingerprint: str | None = None) -> Path:
+        fingerprint = fingerprint or cell.fingerprint()
+        return self.root / cell.experiment_id / f"{fingerprint}.json"
+
+    def load(
+        self, cell: "ScenarioCell", fingerprint: str | None = None
+    ) -> ExperimentResult | None:
+        """Cached result for ``cell``, or ``None`` on miss.
+
+        Unreadable or mismatched artifacts (truncated writes from a killed
+        process, stale schema) are treated as misses, never as errors — the
+        cache must only ever cost a recomputation.
+        """
+        path = self.path_for(cell, fingerprint)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("format") != ARTIFACT_FORMAT:
+            return None
+        if doc.get("fingerprint") != (fingerprint or cell.fingerprint()):
+            return None
+        try:
+            return ExperimentResult.from_json_dict(doc["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def save(
+        self,
+        cell: "ScenarioCell",
+        result_payload: dict[str, Any],
+        fingerprint: str | None = None,
+    ) -> Path:
+        """Atomically write one cell's result payload; returns the path."""
+        fingerprint = fingerprint or cell.fingerprint()
+        path = self.path_for(cell, fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": ARTIFACT_FORMAT,
+            "fingerprint": fingerprint,
+            "cell": cell.describe(),
+            "result": result_payload,
+        }
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Path]:
+        """All artifact files currently in the store."""
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(self.root.glob("*/*.json")))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete every artifact (and any ``*.tmp.*`` partial left behind by
+        an interrupted :meth:`save`); returns how many artifacts were
+        removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        if self.root.is_dir():
+            for partial in self.root.glob("*/*.tmp.*"):
+                partial.unlink()
+        return removed

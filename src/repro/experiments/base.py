@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import numbers
 from typing import Any, Sequence
 
 
@@ -61,6 +62,68 @@ class ExperimentResult:
             if row[idx] == value:
                 return row
         raise KeyError(f"no row with {header}={value!r}")
+
+    # ------------------------------------------------------------------
+    # JSON round trip (the artifact store's on-disk format)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot.
+
+        Tables, paper rows and notes round-trip losslessly (tuples become
+        lists, numpy scalars become Python numbers).  ``extras`` are
+        best-effort: entries that cannot be represented as JSON (live
+        simulation objects, ndarrays) are replaced by a deterministic
+        marker string so serial and parallel sweep workers serialize to
+        identical bytes.
+        """
+        extras: dict[str, Any] = {}
+        for key, value in self.extras.items():
+            try:
+                extras[str(key)] = jsonable(value)
+            except TypeError:
+                extras[str(key)] = (
+                    f"<extra dropped: {type(value).__name__} is not "
+                    f"JSON-serializable>"
+                )
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": jsonable(self.headers),
+            "rows": jsonable(self.rows),
+            "paper": jsonable(self.paper),
+            "notes": self.notes,
+            "extras": extras,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            paper=[list(row) for row in payload.get("paper", [])],
+            notes=payload.get("notes", ""),
+            extras=dict(payload.get("extras", {})),
+        )
+
+
+def jsonable(value: Any) -> Any:
+    """Canonical JSON form of a value tree: tuples -> lists, numpy scalars
+    -> Python numbers, mapping keys -> strings.  Raises ``TypeError`` on
+    anything else so callers can decide to drop it."""
+    if value is None or isinstance(value, (str, bool)):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:

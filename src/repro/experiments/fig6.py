@@ -18,8 +18,12 @@ from repro.models import mini_model_graph
 from repro.parallel import render_timeline, timeline_summary
 
 
+#: Sweep scenario axes derive this figure's cache-key model set from here.
+MODEL_NAME = "mini_vggbn"
+
+
 def run(quick: bool = True) -> ExperimentResult:
-    model_name = "mini_vggbn"
+    model_name = MODEL_NAME
     batch = find_pressure_batch(model_name, T4.memory_bytes)
     builder = lambda: mini_model_graph(
         model_name, batch_size=batch, **GRAPH_SCALE[model_name]

@@ -15,7 +15,10 @@ from repro.backend import LPBackend, MinMaxKernel
 from repro.common.dtypes import Precision
 from repro.experiments.base import ExperimentResult
 from repro.hardware import A10, T4
-from repro.models import mini_model_graph
+
+#: Full-scale graph builder stem used by panel (b).  Sweep scenario axes
+#: derive this figure's cache-key model set from here.
+GRAPH_MODEL = "resnet50"
 
 
 def _iteration_time(backend: LPBackend, dag, precision: Precision) -> float:
@@ -63,9 +66,11 @@ def run(quick: bool = True) -> ExperimentResult:
     # ---- (b) INT8-vs-FP16 extra overhead, BARE vs Optimized, on the real
     # ResNet50 graph at batch 256 (the paper's configuration) — arithmetic
     # intensity matters here, so the mini-model mirror is not a substitute.
-    from repro.models import resnet50_graph
+    from repro.models import catalog
 
-    dag = resnet50_graph(batch_size=256 if not quick else 128)
+    dag = getattr(catalog, f"{GRAPH_MODEL}_graph")(
+        batch_size=256 if not quick else 128
+    )
     for device in (T4, A10):
         bare = LPBackend(device, dequant_fusion=False, optimized_minmax=False)
         opt = LPBackend(device, dequant_fusion=True, optimized_minmax=True)

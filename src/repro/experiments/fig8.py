@@ -22,6 +22,14 @@ from repro.train import SGD, Adam
 from repro.train.data import make_image_classification, make_token_classification
 
 
+#: (display, catalog model, traced precision) per panel.  Sweep scenario
+#: axes derive this figure's cache-key model set from here.
+TRACE_CONFIGS = (
+    ("BERT", "mini_bert", Precision.FP16),
+    ("ResNet50", "mini_resnet", Precision.INT8),
+)
+
+
 def _rank_trace(model_name: str, iterations: int, precision: Precision,
                 seed: int = 0) -> tuple[list[str], list[dict[str, int]]]:
     """Per-iteration relative ranks of every weighted adjustable op."""
@@ -81,10 +89,7 @@ def run(quick: bool = True) -> ExperimentResult:
     iterations = 15 if quick else 45
     rows = []
     extras = {}
-    for display, model_name, precision in (
-        ("BERT", "mini_bert", Precision.FP16),
-        ("ResNet50", "mini_resnet", Precision.INT8),
-    ):
+    for display, model_name, precision in TRACE_CONFIGS:
         ops, traces = _rank_trace(model_name, iterations, precision)
         stability = _stability(traces)
         first = traces[0]

@@ -1,11 +1,21 @@
-"""Experiment registry and runner."""
+"""Experiment registry, scenario axes, and the single-experiment runner."""
 
 from __future__ import annotations
 
-from typing import Callable
+import dataclasses
+from typing import Any, Callable
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments import fig4, fig6, fig7, fig8, table1, table2, table3
+from repro.experiments import (
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table456,
+)
 from repro.experiments.table456 import run_table4, run_table5, run_table6
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -19,6 +29,123 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig6": fig6.run,
     "fig7": fig7.run,
     "fig8": fig8.run,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Variant:
+    """One expansion of an experiment along its model axis.
+
+    ``kwargs`` (a tuple of key/value pairs, kept hashable so cells can be
+    cached and pickled) are forwarded to the experiment's ``run`` — e.g.
+    table2 takes ``models=("VGG16BN",)`` to evaluate one model per cell.
+    """
+
+    label: str = ""
+    models: tuple[str, ...] = ()
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioAxes:
+    """Code-independent coordinates of one experiment's evaluation grid.
+
+    ``cluster`` names the hardware preset the experiment evaluates on (it
+    participates in sweep-cell fingerprints, so renaming a preset or
+    changing which preset an experiment uses invalidates its cached
+    artifacts).  ``models`` are graph-catalog names whose structure
+    fingerprints anchor the cache key.  ``quick``/``full`` optionally
+    override the variant list per protocol; by default there is a single
+    anonymous variant covering :attr:`models`.
+    """
+
+    cluster: str
+    models: tuple[str, ...] = ()
+    quick: tuple[Variant, ...] | None = None
+    full: tuple[Variant, ...] | None = None
+    #: Extra code-independent configuration (graph scales, builder kwargs)
+    #: fingerprinted into every cell of this experiment.  Populate it from
+    #: constants the experiment itself reads, so a parameter edit re-keys
+    #: the cached artifacts that depend on it.
+    config: tuple = ()
+
+    def variants(self, protocol: str) -> tuple[Variant, ...]:
+        if protocol not in ("quick", "full"):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        chosen = self.quick if protocol == "quick" else self.full
+        if chosen is None:
+            return (Variant("", self.models),)
+        return chosen
+
+
+def _table2_variants(displays: tuple[str, ...]) -> tuple[Variant, ...]:
+    return tuple(
+        Variant(display, (table2.MODELS[display][0],), (("models", (display,)),))
+        for display in displays
+    )
+
+
+def _scale_config(models) -> tuple:
+    """Production-graph scale settings for ``models``, as fingerprint input."""
+    from repro.experiments.protocol import GRAPH_SCALE
+
+    return tuple(
+        (name, tuple(sorted(GRAPH_SCALE[name].items())))
+        for name in sorted(set(models))
+    )
+
+
+def _table_axes(cluster: str, models: dict[str, str], quick: tuple[str, ...]) -> ScenarioAxes:
+    return ScenarioAxes(
+        cluster=cluster,
+        quick=(Variant("", tuple(models[d] for d in quick)),),
+        full=(Variant("", tuple(models.values())),),
+        config=_scale_config(models.values()),
+    )
+
+
+#: Scenario axes per experiment — the grid the sweep engine expands.  Model
+#: sets are derived from the experiment modules' own declarations (the
+#: single source of truth), so changing which models an experiment
+#: evaluates automatically re-keys its cached artifacts.
+SCENARIOS: dict[str, ScenarioAxes] = {
+    "table1": ScenarioAxes(cluster="device-registry:T4+V100+A10+A100"),
+    "table2": ScenarioAxes(
+        cluster="hybrid4:2xV100+2xT4",
+        quick=_table2_variants(("VGG16BN", "BERT")),
+        full=_table2_variants(tuple(table2.MODELS)),
+        # Per-model training config (kind, optimizer, lr, metric) — edits
+        # to table2.MODELS re-key the cached artifacts that read them.
+        config=tuple(sorted(table2.MODELS.items())),
+    ),
+    "table3": ScenarioAxes(
+        cluster="2xT4@32GBps",
+        models=(table3.MODEL_NAME,),
+        config=tuple(sorted(table3.GRAPH_KW.items())),
+    ),
+    "table4": _table_axes(
+        "ClusterA", table456.TABLE4_MODELS, table456.TABLE4_QUICK
+    ),
+    "table5": _table_axes(
+        f"ClusterB@x{table456.CLUSTER_B_RATIO}",
+        table456.TABLE5_MODELS,
+        table456.TABLE5_QUICK,
+    ),
+    "table6": _table_axes(
+        "ClusterA", table456.TABLE6_MODELS, table456.TABLE6_QUICK
+    ),
+    "fig4": ScenarioAxes(cluster="T4"),
+    "fig6": ScenarioAxes(
+        cluster="ClusterA(1+1|2+2)",
+        models=(fig6.MODEL_NAME,),
+        config=_scale_config((fig6.MODEL_NAME,)),
+    ),
+    # fig7b sums per-op costs over the full-scale ResNet50 graph.
+    "fig7": ScenarioAxes(cluster="T4+A10", models=(fig7.GRAPH_MODEL,)),
+    "fig8": ScenarioAxes(
+        cluster="single-device",
+        models=tuple(model for _, model, _ in fig8.TRACE_CONFIGS),
+    ),
 }
 
 

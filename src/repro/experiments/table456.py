@@ -25,6 +25,20 @@ from repro.train.data import make_image_classification, make_token_classificatio
 #: regime sits at ~42 % — recorded as a substitution in DESIGN.md §4.
 CLUSTER_B_RATIO = 0.42
 
+#: display name -> graph/model catalog name per table, with the quick-mode
+#: subset.  Single source of truth: the sweep engine's scenario axes
+#: (``registry.SCENARIOS``) derive cache-key model sets from these, so
+#: changing a table's model set here automatically re-keys its cached
+#: artifacts.
+TABLE4_MODELS = {
+    "ResNet50": "mini_resnet", "VGG16": "mini_vgg", "VGG16BN": "mini_vggbn",
+}
+TABLE4_QUICK = ("VGG16BN",)
+TABLE5_MODELS = {"ResNet50": "mini_resnet", "VGG16BN": "mini_vggbn"}
+TABLE5_QUICK = ("VGG16BN",)
+TABLE6_MODELS = {"BERT": "mini_bert", "RoBERTa": "mini_roberta"}
+TABLE6_QUICK = ("BERT",)
+
 _PAPER_TABLE4 = [
     ["ResNet50", "ORACLE", "76.93±0.20%", "—"],
     ["ResNet50", "DBS", "76.13±0.05%", "0.40"],
@@ -127,9 +141,9 @@ def run_table4(quick: bool = True, seeds: int | None = None) -> ExperimentResult
     return _run_table(
         "table4",
         "From-scratch training on ClusterA",
-        {"ResNet50": "mini_resnet", "VGG16": "mini_vgg", "VGG16BN": "mini_vggbn"}
+        TABLE4_MODELS
         if not quick
-        else {"VGG16BN": "mini_vggbn"},
+        else {d: TABLE4_MODELS[d] for d in TABLE4_QUICK},
         make_cluster_a,
         _PAPER_TABLE4,
         quick,
@@ -142,9 +156,9 @@ def run_table5(quick: bool = True, seeds: int | None = None) -> ExperimentResult
     return _run_table(
         "table5",
         f"From-scratch training on ClusterB (T4 memory x{CLUSTER_B_RATIO})",
-        {"ResNet50": "mini_resnet", "VGG16BN": "mini_vggbn"}
+        TABLE5_MODELS
         if not quick
-        else {"VGG16BN": "mini_vggbn"},
+        else {d: TABLE5_MODELS[d] for d in TABLE5_QUICK},
         factory,
         _PAPER_TABLE5,
         quick,
@@ -156,9 +170,9 @@ def run_table6(quick: bool = True, seeds: int | None = None) -> ExperimentResult
     return _run_table(
         "table6",
         "Fine-tuning tasks on ClusterA (transformers, Adam)",
-        {"BERT": "mini_bert", "RoBERTa": "mini_roberta"}
+        TABLE6_MODELS
         if not quick
-        else {"BERT": "mini_bert"},
+        else {d: TABLE6_MODELS[d] for d in TABLE6_QUICK},
         make_cluster_a,
         _PAPER_TABLE6,
         quick,

@@ -14,6 +14,7 @@ import networkx as nx
 
 from repro.common.dtypes import Precision, parse_precision
 from repro.common.errors import GraphConsistencyError
+from repro.common.stable_hash import stable_hash
 from repro.graph.ops import OpCategory, OperatorSpec
 
 
@@ -170,15 +171,18 @@ class PrecisionDAG:
         Cross-DAG caches (the Replayer's per-device-type DFG and memory
         layers) key on this instead of the per-instance
         :attr:`structure_version` counter, which says nothing about whether
-        two different DAG objects are actually the same graph.  Cached per
-        structure version.
+        two different DAG objects are actually the same graph.  Computed
+        with :func:`repro.common.stable_hash.stable_hash` — never builtin
+        ``hash``, which is salted per process and would make every
+        cross-process cache key (and the experiment artifact store built on
+        it) non-reproducible.  Cached per structure version.
         """
         if (
             self._fingerprint_cache is not None
             and self._fingerprint_cache[0] == self._structure_version
         ):
             return self._fingerprint_cache[1]
-        fp = hash(
+        fp = stable_hash(
             tuple(
                 (
                     n,

@@ -49,9 +49,12 @@ def allreduce_gradients(
     the synchronous data-parallel invariant.
     """
     named = [dict(m.named_parameters()) for m in models]
-    keys = set(named[0])
+    # Reduce in replica-0 insertion order, never set order: set iteration is
+    # salted per process, and per-step gradient traces (bucket fill order,
+    # numerics observers) must be byte-stable across processes.
+    keys = list(named[0])
     for other in named[1:]:
-        if set(other) != keys:
+        if other.keys() != named[0].keys():
             raise ValueError("replicas have mismatched parameter trees")
     for key in keys:
         grads = []

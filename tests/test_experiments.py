@@ -163,7 +163,9 @@ class TestRunnerCLI:
     def test_cli_runs_table1(self, capsys):
         from repro.experiments.runner import main
 
-        assert main(["table1"]) == 0
+        # --no-cache: the test must exercise the computation, never replay a
+        # stale artifact (and must not drop a .qsync-artifacts/ in the cwd).
+        assert main(["table1", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "table1" in out and "V100" in out
 
