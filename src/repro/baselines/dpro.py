@@ -31,10 +31,13 @@ class DproReplayer:
         cluster: Cluster,
         dags: dict[int, PrecisionDAG],
         catalogs: dict[int, OperatorCostCatalog],
+        collective_model=None,
     ) -> None:
         self.cluster = cluster
         self.dags = dags
         self.catalogs = catalogs
+        # Dpro models collectives well — share the Replayer's cost model.
+        self.collective_model = collective_model
 
     def _build_local(self, rank: int) -> LocalDFG:
         worker = self.cluster.workers[rank]
@@ -90,4 +93,6 @@ class DproReplayer:
 
     def simulate(self) -> SimulationResult:
         gdfg = GlobalDFG([self._build_local(w.rank) for w in self.cluster.workers])
-        return simulate_global_dfg(gdfg, self.cluster)
+        return simulate_global_dfg(
+            gdfg, self.cluster, collective_model=self.collective_model
+        )

@@ -57,6 +57,7 @@ def build_replayer(
     optimizer_slots: int = 1,
     backends: dict[int, LPBackend] | None = None,
     profile_repeats: int = 3,
+    collective_model=None,
 ) -> tuple[Replayer, dict[int, LPBackend]]:
     """Construct a Replayer with per-rank DAGs, catalogs, and cast models.
 
@@ -86,7 +87,8 @@ def build_replayer(
         cast_calcs[w.rank] = casts_by_type[tname]
 
     replayer = Replayer(
-        cluster, dags, catalogs, cast_calcs, optimizer_slots=optimizer_slots
+        cluster, dags, catalogs, cast_calcs, optimizer_slots=optimizer_slots,
+        collective_model=collective_model,
     )
     return replayer, backends
 
@@ -100,6 +102,7 @@ def qsync_plan(
     optimizer_slots: int = 1,
     indicator_factory=None,
     config: AllocatorConfig | None = None,
+    collective_model=None,
 ) -> tuple[PrecisionPlan, QSyncReport]:
     """Run the QSync workflow and return (plan, report).
 
@@ -120,6 +123,9 @@ def qsync_plan(
     indicator_factory:
         Optional ``(dag, stats, gamma) -> IndicatorProtocol`` override, used
         by the baseline-indicator experiments (Table II).
+    collective_model:
+        All-reduce cost model name/instance; ``None`` keeps the flat-ring
+        default (see :mod:`repro.parallel.comm_model`).
     """
     if isinstance(dag_builder, PrecisionDAG):
         template = dag_builder
@@ -135,7 +141,8 @@ def qsync_plan(
     gamma = gamma_for_loss(loss, batch_size)
 
     replayer, _backends = build_replayer(
-        builder, cluster, optimizer_slots=optimizer_slots
+        builder, cluster, optimizer_slots=optimizer_slots,
+        collective_model=collective_model,
     )
 
     indicators: dict[str, IndicatorProtocol] = {}

@@ -23,6 +23,7 @@ from repro.common.dtypes import Precision
 from repro.core.cost_mapper import CostMapper
 from repro.core.dfg import GlobalDFG, LocalDFG
 from repro.hardware.cluster import Cluster
+from repro.parallel.comm_model import CollectiveModel, resolve_collective_model
 from repro.profiling.casting import CastCostCalculator
 from repro.profiling.memory import MemoryEstimate, MemoryModel
 from repro.profiling.profiler import OperatorCostCatalog
@@ -83,6 +84,10 @@ class Replayer:
         Per-rank profiled cost catalogs and fitted casting models.
     optimizer_slots:
         Memory-model optimizer state multiplier.
+    collective_model:
+        All-reduce cost model (name, instance, or ``None`` for the flat-ring
+        default — the legacy single-bottleneck ring, bit-identical to the
+        pre-topology Replayer).
     """
 
     def __init__(
@@ -94,8 +99,10 @@ class Replayer:
         optimizer_slots: int = 1,
         bucket_cap_bytes: int = 25 * 1024**2,
         incremental: bool = True,
+        collective_model: CollectiveModel | str | None = None,
     ) -> None:
         self.cluster = cluster
+        self.collective_model = resolve_collective_model(collective_model)
         self.dags = dags
         self.memory_model = MemoryModel(optimizer_slots=optimizer_slots)
         #: When False every simulate() rebuilds every rank's DFG and memory
@@ -189,6 +196,7 @@ class Replayer:
                 w.rank: self.memory_estimate(w.rank)
                 for w in self.cluster.workers
             },
+            collective_model=self.collective_model,
         )
 
     def memory_estimate(self, rank: int) -> MemoryEstimate:
@@ -231,14 +239,18 @@ def simulate_global_dfg(
     cluster: Cluster,
     collect_timeline: bool = False,
     memory: dict[int, MemoryEstimate] | None = None,
+    collective_model: CollectiveModel | str | None = None,
 ) -> SimulationResult:
     """Play a global DFG through Eq. (6).
 
     Separated from :class:`Replayer` so the ground-truth simulator can reuse
     the identical synchronization semantics with its own (noisy) node
     durations — keeping Table III's comparison about *cost modelling*, not
-    about divergent schedulers.
+    about divergent schedulers.  ``collective_model`` prices each bucket's
+    all-reduce; the default flat ring reproduces
+    :meth:`Cluster.allreduce_time` bit-for-bit.
     """
+    comm_model = resolve_collective_model(collective_model)
     locals_ = gdfg.locals
     timeline: list[TimelineEvent] = []
 
@@ -258,7 +270,8 @@ def simulate_global_dfg(
         start_candidates = [ready_times[l.rank][n] for l in locals_]
         comm_start = max(max(start_candidates), comm_end_prev)
         durations = [
-            cluster.allreduce_time(l.buckets[n].nbytes) for l in locals_
+            comm_model.allreduce_time(cluster, l.buckets[n].nbytes)
+            for l in locals_
         ]
         comm_dur = max(durations)
         comm_end = comm_start + comm_dur

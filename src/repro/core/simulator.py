@@ -64,6 +64,10 @@ class GroundTruthSimulator:
         durations (buckets overlap most of the backward in DDP).
     seed:
         Jitter stream seed.
+    collective_model:
+        All-reduce cost model (shared with the Replayer so Table III's
+        comparison stays about compute-cost modelling, not about divergent
+        collectives); ``None`` keeps the flat-ring default.
     """
 
     def __init__(
@@ -73,12 +77,14 @@ class GroundTruthSimulator:
         backends: dict[int, LPBackend],
         comm_contention: float = 0.02,
         seed: int = 0,
+        collective_model=None,
     ) -> None:
         self.cluster = cluster
         self.dags = dags
         self.backends = backends
         self.comm_contention = comm_contention
         self.seed = seed
+        self.collective_model = collective_model
 
     # ------------------------------------------------------------------
     def _build_local(self, rank: int, iteration: int) -> LocalDFG:
@@ -205,7 +211,8 @@ class GroundTruthSimulator:
                 [self._build_local(w.rank, it) for w in self.cluster.workers]
             )
             last = simulate_global_dfg(
-                gdfg, self.cluster, collect_timeline=collect_timeline and it == 0
+                gdfg, self.cluster, collect_timeline=collect_timeline and it == 0,
+                collective_model=self.collective_model,
             )
             total += last.iteration_time
         assert last is not None

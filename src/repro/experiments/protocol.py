@@ -111,7 +111,7 @@ def prepare_methods(
         t * b for t, b in zip(per_sample, dbs_graph_batches)
     )
     comm = sum(
-        cluster.allreduce_time(b.nbytes)
+        replayer.collective_model.allreduce_time(cluster, b.nbytes)
         for b in replayer.local_dfg(0).buckets
     )
     dbs_iter = dbs_compute + comm

@@ -7,6 +7,7 @@ from typing import Any, Callable
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments import (
+    comm,
     fig4,
     fig6,
     fig7,
@@ -29,6 +30,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig6": fig6.run,
     "fig7": fig7.run,
     "fig8": fig8.run,
+    "comm": comm.run,
 }
 
 
@@ -145,6 +147,24 @@ SCENARIOS: dict[str, ScenarioAxes] = {
     "fig8": ScenarioAxes(
         cluster="single-device",
         models=tuple(model for _, model, _ in fig8.TRACE_CONFIGS),
+    ),
+    # One cell per multi-node cluster preset: the preset name rides in the
+    # variant kwargs, so each preset is an independent sweep axis whose
+    # cached artifacts re-key when the preset list or graph config changes.
+    "comm": ScenarioAxes(
+        cluster="multinode:" + "+".join(comm.PRESETS),
+        quick=tuple(
+            Variant(preset, (comm.MODEL_NAME,), (("presets", (preset,)),))
+            for preset in comm.PRESETS
+        ),
+        full=tuple(
+            Variant(preset, (comm.MODEL_NAME,), (("presets", (preset,)),))
+            for preset in comm.PRESETS
+        ),
+        config=(
+            tuple(sorted(comm.GRAPH_KW.items())),
+            tuple(sorted(comm.QUICK_GRAPH_KW.items())),
+        ),
     ),
 }
 

@@ -7,8 +7,12 @@ The paper's testbeds (Sec. VII):
 * **ClusterB** — ClusterA with T4 memory capped at 30 % (partial sharing via
   MPS, Fig. 2).
 
-:func:`make_cluster_a` / :func:`make_cluster_b` reproduce those topologies;
-device specs come from the same NVIDIA datasheets the paper cites.
+:func:`make_cluster_a` / :func:`make_cluster_b` reproduce those topologies
+as flat worker lists; :func:`make_cluster_a_multinode` /
+:func:`make_cluster_b_multinode` / :func:`make_cloud_edge_cluster` are the
+node-grouped versions whose intra/inter link tiers
+(:mod:`repro.hardware.topology`) the hierarchical collective models exploit.
+Device specs come from the same NVIDIA datasheets the paper cites.
 """
 
 from repro.hardware.device import DeviceSpec, SharingMode
@@ -20,7 +24,18 @@ from repro.hardware.presets import (
     DEVICE_REGISTRY,
     get_device,
 )
-from repro.hardware.cluster import Cluster, Worker, make_cluster_a, make_cluster_b
+from repro.hardware.topology import LinkSpec, NodeSpec, Topology
+from repro.hardware.cluster import (
+    CLUSTER_PRESETS,
+    Cluster,
+    Worker,
+    get_cluster_preset,
+    make_cloud_edge_cluster,
+    make_cluster_a,
+    make_cluster_a_multinode,
+    make_cluster_b,
+    make_cluster_b_multinode,
+)
 
 __all__ = [
     "DeviceSpec",
@@ -31,8 +46,16 @@ __all__ = [
     "A100",
     "DEVICE_REGISTRY",
     "get_device",
+    "LinkSpec",
+    "NodeSpec",
+    "Topology",
+    "CLUSTER_PRESETS",
     "Cluster",
     "Worker",
+    "get_cluster_preset",
+    "make_cloud_edge_cluster",
     "make_cluster_a",
+    "make_cluster_a_multinode",
     "make_cluster_b",
+    "make_cluster_b_multinode",
 ]

@@ -1,19 +1,40 @@
 """Cluster topology.
 
-A :class:`Cluster` is a set of :class:`Worker` s (device + rank) plus the
-interconnect model used to cost all-reduce.  The bottleneck bandwidth of a
-synchronous ring spanning both sub-clusters is the *minimum* link bandwidth
-along the ring — for ClusterA that is the inference servers' 32 GB/s.
+A :class:`Cluster` is a set of :class:`Worker` s (device + rank) grouped into
+nodes by a :class:`~repro.hardware.topology.Topology`, plus the interconnect
+model used to cost all-reduce.  Clusters built without an explicit topology
+derive a *flat* one (each worker its own node behind its NIC) — under the
+default flat-ring collective model that reproduces the legacy behaviour
+exactly: the bottleneck bandwidth of a synchronous ring spanning both
+sub-clusters is the *minimum* link bandwidth along the ring (for ClusterA
+that is the inference servers' 32 GB/s).
+
+Topology-aware collective models (:mod:`repro.parallel.comm_model`) read the
+node grouping instead, so multi-node presets
+(:func:`make_cluster_a_multinode`, :func:`make_cluster_b_multinode`,
+:func:`make_cloud_edge_cluster`) can exploit fast intra-node fabrics the
+flat ring cannot see.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.common.units import GBPS
 from repro.hardware.device import DeviceSpec
-from repro.hardware.presets import T4, V100
+from repro.hardware.presets import A100, T4, V100
+from repro.hardware.topology import (
+    ETH100G,
+    LinkSpec,
+    NVLINK2,
+    NVLINK3,
+    NodeSpec,
+    PCIE3,
+    PCIE4,
+    Topology,
+    WAN10G,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -22,7 +43,9 @@ class Worker:
 
     rank: int
     device: DeviceSpec
-    #: Bandwidth of this worker's NIC/switch path in bytes/s.
+    #: Bandwidth of this worker's NIC/switch path in bytes/s.  For workers
+    #: grouped into multi-rank nodes this is the *node uplink* — the path a
+    #: flat (topology-blind) ring crosses between nodes.
     link_bandwidth: float
 
     @property
@@ -38,16 +61,48 @@ class Cluster:
     workers: tuple[Worker, ...]
     #: Per-message latency of a collective step (launch + network RTT).
     collective_latency: float = 30e-6
+    #: Node grouping + link assignments.  ``None`` derives the flat topology
+    #: (one single-worker node per rank), preserving legacy behaviour.
+    topology: Topology | None = None
 
     def __post_init__(self) -> None:
         ranks = [w.rank for w in self.workers]
         if ranks != list(range(len(ranks))):
             raise ValueError(f"worker ranks must be 0..n-1, got {ranks}")
+        if self.collective_latency <= 0:
+            raise ValueError(
+                f"collective_latency must be > 0 seconds, got "
+                f"{self.collective_latency} (pass a small positive value to "
+                f"model an ideal network)"
+            )
+        for w in self.workers:
+            if w.link_bandwidth <= 0:
+                raise ValueError(
+                    f"worker {w.rank} ({w.device.name}): link_bandwidth must "
+                    f"be > 0 bytes/s, got {w.link_bandwidth}"
+                )
+        if self.topology is None:
+            object.__setattr__(
+                self, "topology", Topology.flat(self.workers, self.collective_latency)
+            )
+        elif self.topology.n_ranks != len(self.workers):
+            raise ValueError(
+                f"topology covers {self.topology.n_ranks} ranks but the "
+                f"cluster has {len(self.workers)} workers"
+            )
 
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         return len(self.workers)
+
+    @property
+    def nodes(self) -> tuple[NodeSpec, ...]:
+        return self.topology.nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
 
     @property
     def training_workers(self) -> tuple[Worker, ...]:
@@ -59,14 +114,16 @@ class Cluster:
 
     @property
     def bottleneck_bandwidth(self) -> float:
-        """Slowest link along the all-reduce ring."""
+        """Slowest link along the (flat) all-reduce ring."""
         return min(w.link_bandwidth for w in self.workers)
 
     def allreduce_time(self, nbytes: float) -> float:
-        """Ring all-reduce latency for one buffer of ``nbytes``.
+        """Flat ring all-reduce latency for one buffer of ``nbytes``.
 
         Standard model: ``2 (K-1)/K * nbytes / bottleneck_bw`` plus per-step
-        latency ``2 (K-1) * alpha``.
+        latency ``2 (K-1) * alpha``.  This is the default
+        :class:`~repro.parallel.comm_model.FlatRingModel`; topology-aware
+        alternatives live in :mod:`repro.parallel.comm_model`.
         """
         k = self.size
         if k <= 1:
@@ -116,8 +173,8 @@ def make_cluster_a(
 ) -> Cluster:
     """ClusterA: V100 training servers (300 GB/s) + T4 inference (32 GB/s).
 
-    Defaults to a 4+4 slice; the paper's full testbed is 16+16 — pass larger
-    counts to reproduce it (the simulation cost is O(workers)).
+    Defaults to a 4+4 slice; the paper's full testbed is 16+16 — see
+    :func:`make_cluster_a_multinode` for the node-grouped version.
     """
     return _build(
         "ClusterA",
@@ -132,9 +189,126 @@ def make_cluster_b(
     memory_ratio: float = 0.3,
 ) -> Cluster:
     """ClusterB: ClusterA with T4s partially loaned (30 % by default)."""
+    _check_memory_ratio(memory_ratio)
     shared_t4 = T4.with_sharing(memory_ratio)
     return _build(
         "ClusterB",
         [(V100, 300 * GBPS)] * n_training,
         [(shared_t4, 32 * GBPS)] * n_inference,
     )
+
+
+def _check_memory_ratio(memory_ratio: float) -> None:
+    if not 0.0 < memory_ratio <= 1.0:
+        raise ValueError(
+            f"memory_ratio must be in (0, 1] (the fraction of inference-GPU "
+            f"memory loaned to training), got {memory_ratio}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# multi-node presets (node-grouped; the hierarchical collective's habitat)
+# ---------------------------------------------------------------------------
+
+
+def _grouped_cluster(
+    name: str,
+    node_plans: list[tuple[str, DeviceSpec, int, LinkSpec, LinkSpec]],
+    collective_latency: float = 30e-6,
+) -> Cluster:
+    """Build a node-grouped cluster from ``(node name, device, n_gpus,
+    intra link, uplink)`` plans.  Worker ``link_bandwidth`` is the node's
+    uplink — the path a flat ring crosses — so the topology-blind model
+    prices these clusters by their inter-node network, as it would a real
+    multi-node ring."""
+    workers: list[Worker] = []
+    nodes: list[NodeSpec] = []
+    rank = 0
+    for node_name, device, n_gpus, intra, uplink in node_plans:
+        ranks = []
+        for _ in range(n_gpus):
+            workers.append(
+                Worker(rank=rank, device=device, link_bandwidth=uplink.bandwidth)
+            )
+            ranks.append(rank)
+            rank += 1
+        nodes.append(
+            NodeSpec(name=node_name, ranks=tuple(ranks), intra_link=intra, uplink=uplink)
+        )
+    return Cluster(
+        name=name,
+        workers=tuple(workers),
+        collective_latency=collective_latency,
+        topology=Topology(nodes=tuple(nodes)),
+    )
+
+
+def make_cluster_a_multinode(
+    n_training_nodes: int = 2,
+    n_inference_nodes: int = 2,
+    gpus_per_node: int = 8,
+) -> Cluster:
+    """The paper's full ClusterA testbed, node-grouped: 2 training servers x
+    8 NVLinked V100 + 2 inference servers x 8 PCIe T4 (16+16 across 4
+    nodes), joined by 100 Gb Ethernet."""
+    plans = [
+        (f"train{i}", V100, gpus_per_node, NVLINK2, ETH100G)
+        for i in range(n_training_nodes)
+    ] + [
+        (f"infer{i}", T4, gpus_per_node, PCIE4, ETH100G)
+        for i in range(n_inference_nodes)
+    ]
+    return _grouped_cluster("ClusterA-MN", plans)
+
+
+def make_cluster_b_multinode(
+    n_training_nodes: int = 2,
+    n_inference_nodes: int = 2,
+    gpus_per_node: int = 8,
+    memory_ratio: float = 0.3,
+) -> Cluster:
+    """ClusterA-MN with the T4s partially loaned (ClusterB's sharing mode)."""
+    _check_memory_ratio(memory_ratio)
+    shared_t4 = T4.with_sharing(memory_ratio)
+    plans = [
+        (f"train{i}", V100, gpus_per_node, NVLINK2, ETH100G)
+        for i in range(n_training_nodes)
+    ] + [
+        (f"infer{i}", shared_t4, gpus_per_node, PCIE4, ETH100G)
+        for i in range(n_inference_nodes)
+    ]
+    return _grouped_cluster("ClusterB-MN", plans)
+
+
+def make_cloud_edge_cluster(
+    n_cloud_gpus: int = 4,
+    n_edge_nodes: int = 2,
+    gpus_per_edge_node: int = 2,
+) -> Cluster:
+    """ACE-Sync-style two-tier scenario: one NVSwitched A100 cloud node plus
+    PCIe T4 edge nodes, all behind a high-latency 10 Gb WAN."""
+    plans = [("cloud0", A100, n_cloud_gpus, NVLINK3, WAN10G)] + [
+        (f"edge{i}", T4, gpus_per_edge_node, PCIE3, WAN10G)
+        for i in range(n_edge_nodes)
+    ]
+    return _grouped_cluster("CloudEdge", plans, collective_latency=WAN10G.latency)
+
+
+#: Named cluster presets, the sweep/bench axes vocabulary.  Keys are stable
+#: identifiers (they participate in sweep-cell fingerprints via experiment
+#: kwargs) — renaming one invalidates cached artifacts that reference it.
+CLUSTER_PRESETS: dict[str, Callable[[], Cluster]] = {
+    "cluster_a_4+4": lambda: make_cluster_a(4, 4),
+    "cluster_a_2x8+2x8": make_cluster_a_multinode,
+    "cluster_b_2x8+2x8": make_cluster_b_multinode,
+    "cloud_edge_4+2x2": make_cloud_edge_cluster,
+}
+
+
+def get_cluster_preset(name: str) -> Cluster:
+    """Instantiate a registered cluster preset by name."""
+    if name not in CLUSTER_PRESETS:
+        raise KeyError(
+            f"unknown cluster preset {name!r}; available: {sorted(CLUSTER_PRESETS)}"
+        )
+    return CLUSTER_PRESETS[name]()

@@ -7,16 +7,32 @@
   precision plan and local batch, synchronized every step.  This is where
   the paper's training semantics (Proposition 1's unbiasedness, BN's local
   statistics, DBS's batch-size effects) actually execute.
+* :mod:`repro.parallel.comm_model` — pluggable collective *cost* models
+  (flat ring, hierarchical, tree) consumed by the Replayer's Eq. (6).
 * :mod:`repro.parallel.timeline` — render Fig. 6-style stream waterfalls.
 """
 
 from repro.parallel.collective import allreduce_average, allreduce_gradients
+from repro.parallel.comm_model import (
+    COLLECTIVE_MODELS,
+    CollectiveModel,
+    FlatRingModel,
+    HierarchicalModel,
+    TreeModel,
+    resolve_collective_model,
+)
 from repro.parallel.ddp import DataParallelTrainer, WorkerConfig
 from repro.parallel.timeline import render_timeline, timeline_summary
 
 __all__ = [
     "allreduce_average",
     "allreduce_gradients",
+    "COLLECTIVE_MODELS",
+    "CollectiveModel",
+    "FlatRingModel",
+    "HierarchicalModel",
+    "TreeModel",
+    "resolve_collective_model",
     "DataParallelTrainer",
     "WorkerConfig",
     "render_timeline",

@@ -94,12 +94,19 @@ class DataParallelTrainer:
         return [w.batch_size for w in self.workers]
 
     def step(self, shards: list[tuple[np.ndarray, np.ndarray]]) -> float:
-        """One synchronous training step; returns the mean loss."""
+        """One synchronous training step; returns the global-batch mean loss.
+
+        Per-worker losses are means over *local* shards, so the aggregate
+        must weight each by its shard's sample count — exactly the weighting
+        the gradient all-reduce uses.  An unweighted mean would over-count
+        small-batch workers under Dynamic Batch Sizing.
+        """
         if len(shards) != len(self.replicas):
             raise ValueError(
                 f"{len(shards)} shards for {len(self.replicas)} workers"
             )
         losses = []
+        shard_sizes = []
         for (xb, yb), replica, opt in zip(shards, self.replicas, self.optimizers):
             opt.zero_grad()
             if np.issubdtype(np.asarray(xb).dtype, np.integer):
@@ -109,10 +116,15 @@ class DataParallelTrainer:
             loss = F.cross_entropy(logits, yb)
             loss.backward()
             losses.append(loss.item())
-        allreduce_gradients(self.replicas, weights=[float(b) for b in self.batch_sizes])
+            shard_sizes.append(float(len(yb)))
+        # Weight by the *actual* shard sizes for gradients and loss alike:
+        # per-worker means recombine into exact global-batch means even on
+        # ragged tail shards (in-repo sharding always fills to the
+        # configured batch sizes, where the two coincide).
+        allreduce_gradients(self.replicas, weights=shard_sizes)
         for opt in self.optimizers:
             opt.step()
-        return float(np.mean(losses))
+        return float(np.average(losses, weights=shard_sizes))
 
     # ------------------------------------------------------------------
     def train(

@@ -8,43 +8,54 @@ and computes the waiting-time statistics quoted in the caption.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
+from typing import TYPE_CHECKING
 
-from repro.core.replayer import SimulationResult, TimelineEvent
+if TYPE_CHECKING:  # runtime import would cycle: core.replayer -> parallel
+    from repro.core.replayer import SimulationResult, TimelineEvent
 
 
 def render_timeline(
-    events: list[TimelineEvent], width: int = 80, merge_ranks: bool = True
+    events: list["TimelineEvent"], width: int = 80, merge_ranks: bool = True
 ) -> str:
     """ASCII waterfall: one row per (device, stream), time left to right.
 
     ``#`` = busy, ``.`` = idle.  Same-device ranks are merged onto one row
     pair (they execute near-identically) unless ``merge_ranks=False``.
+
+    Events map to half-open cell ranges ``[floor(start/t_end*width),
+    ceil(end/t_end*width))`` so an event never bleeds a full extra cell into
+    its successor, and every event is guaranteed at least one cell however
+    narrow the rendering.  Rows order by (device, rank, stream) with the
+    rank compared *numerically* — ``T4#2`` sorts before ``T4#10``, and
+    streams of one worker always stay adjacent.
     """
     if not events:
         return "(empty timeline)"
     t_end = max(e.end for e in events)
     if t_end <= 0:
         return "(zero-length timeline)"
-    rows: dict[tuple, list[TimelineEvent]] = defaultdict(list)
+    rows: dict[tuple[str, int, str], list["TimelineEvent"]] = defaultdict(list)
     for e in events:
-        key = (e.device, e.stream) if merge_ranks else (f"{e.device}#{e.rank}", e.stream)
-        rows[key].append(e)
+        rank = -1 if merge_ranks else e.rank
+        rows[(e.device, rank, e.stream)].append(e)
 
     lines = [f"timeline: {t_end * 1e3:.2f} ms total, '#'=busy '.'=idle"]
-    for (device, stream), evs in sorted(rows.items()):
+    for (device, rank, stream), evs in sorted(rows.items()):
         cells = ["."] * width
         for e in evs:
-            lo = int(e.start / t_end * (width - 1))
-            hi = max(int(e.end / t_end * (width - 1)), lo)
-            for i in range(lo, hi + 1):
+            lo = min(int(e.start / t_end * width), width - 1)
+            hi = min(max(math.ceil(e.end / t_end * width), lo + 1), width)
+            for i in range(lo, hi):
                 cells[i] = "#"
-        label = f"{device:>8s}/{stream:<4s}"
+        row_name = device if rank < 0 else f"{device}#{rank}"
+        label = f"{row_name:>8s}/{stream:<4s}"
         lines.append(f"{label} |{''.join(cells)}|")
     return "\n".join(lines)
 
 
-def timeline_summary(sim: SimulationResult) -> dict[str, float]:
+def timeline_summary(sim: "SimulationResult") -> dict[str, float]:
     """Waiting-time statistics of a simulated iteration.
 
     ``wait`` per device = time between local compute finishing and the last

@@ -1,0 +1,42 @@
+"""Tier-1 smoke invocation of the collective-model benchmark.
+
+Runs ``benchmarks.bench_comm`` on its reduced grid so regressions in the
+topology-aware collective layer — hierarchical no longer beating the flat
+ring on multi-node presets, presets losing their node grouping — fail
+loudly in the normal test run.  The full-size benchmark (``python -m
+benchmarks.bench_comm``) is the one that records the headline 16+16 numbers
+to ``BENCH_comm.json``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_comm import run_bench
+
+
+def test_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_comm.json"
+    payload = run_bench(small=True, path=out)
+
+    # The headline invariant: hierarchical strictly below flat on every
+    # multi-node preset (these presets all group >1 rank per node).
+    assert payload["hierarchical_below_flat_everywhere"]
+    for preset, entry in payload["presets"].items():
+        assert entry["nodes"] >= 2, preset
+        assert entry["workers"] > entry["nodes"], preset
+        flat = entry["models"]["flat"]["allreduce_seconds"]
+        hier = entry["models"]["hierarchical"]["allreduce_seconds"]
+        assert hier < flat, preset
+        assert entry["hierarchical_vs_flat_allreduce_speedup"] > 1.0
+        # Every registered model was priced end-to-end.
+        assert set(entry["models"]) == {"flat", "hierarchical", "tree"}
+        for stats in entry["models"].values():
+            assert stats["iteration_seconds"] > 0
+
+    # The artifact is valid JSON on disk with the headline fields.
+    written = json.loads(out.read_text())
+    assert written["hierarchical_below_flat_everywhere"] is True
+    assert set(written["presets"]) == set(payload["presets"])

@@ -129,3 +129,28 @@ class TestCluster:
 
     def test_describe(self):
         assert make_cluster_a(2, 2).describe() == "ClusterA[2xV100 + 2xT4]"
+
+
+class TestClusterValidation:
+    def test_cluster_b_memory_ratio_bounds(self):
+        with pytest.raises(ValueError, match="memory_ratio"):
+            make_cluster_b(2, 2, memory_ratio=0.0)
+        with pytest.raises(ValueError, match="memory_ratio"):
+            make_cluster_b(2, 2, memory_ratio=1.5)
+        with pytest.raises(ValueError, match="memory_ratio"):
+            make_cluster_b(2, 2, memory_ratio=-0.3)
+        # The full loan is a legal boundary (ClusterA's FULL-sharing limit).
+        assert make_cluster_b(1, 1, memory_ratio=1.0).size == 2
+
+    def test_nonpositive_link_bandwidth_rejected(self):
+        w0 = Worker(rank=0, device=V100, link_bandwidth=1e9)
+        for bad in (0.0, -32.0):
+            w1 = Worker(rank=1, device=T4, link_bandwidth=bad)
+            with pytest.raises(ValueError, match="link_bandwidth"):
+                Cluster(name="bad", workers=(w0, w1))
+
+    def test_nonpositive_collective_latency_rejected(self):
+        w = Worker(rank=0, device=V100, link_bandwidth=1e9)
+        for bad in (0.0, -30e-6):
+            with pytest.raises(ValueError, match="collective_latency"):
+                Cluster(name="bad", workers=(w,), collective_latency=bad)

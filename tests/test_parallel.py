@@ -212,6 +212,33 @@ class TestTimeline:
         assert "empty" in render_timeline([])
 
 
+class TestWeightedStepLoss:
+    def test_step_loss_is_global_batch_mean(self):
+        """Uneven shards: the reported step loss must equal the cross-entropy
+        of the concatenated global batch (shard-size weighting), not the
+        unweighted mean of per-worker losses."""
+        ds = make_image_classification(n_train=64, n_test=16, seed=0)
+        batch_sizes = [12, 4]
+        trainer = _image_trainer([{}, {}], batch_sizes=batch_sizes,
+                                 model_name="mini_vgg")
+        rng = new_rng(0)
+        shards = next(iter(ds.shard_batches(batch_sizes, rng, epochs=1)))
+        # Reference: replica-identical weights, so the global-batch loss is
+        # computable on an untouched clone before the step mutates state.
+        clone = make_mini_model("mini_vgg", seed=0)
+        clone.load_state_arrays(trainer.replicas[0].state_arrays())
+        xg = np.concatenate([shards[0][0], shards[1][0]])
+        yg = np.concatenate([shards[0][1], shards[1][1]])
+        expected = F.cross_entropy(clone(Tensor(xg)), yg).item()
+        reported = trainer.step(shards)
+        assert reported == pytest.approx(expected, rel=1e-10)
+        # And the unweighted mean is genuinely different on uneven shards.
+        per_worker = [
+            F.cross_entropy(clone(Tensor(xb)), yb).item() for xb, yb in shards
+        ]
+        assert reported != pytest.approx(float(np.mean(per_worker)), rel=1e-6)
+
+
 class TestWeightedSyncExactness:
     def test_dbs_weighted_ddp_equals_single_worker_global_batch(self):
         """DBS correctness anchor: K workers with *uneven* local batches and

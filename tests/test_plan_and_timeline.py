@@ -84,6 +84,43 @@ class TestTimelineRendering:
         events = [TimelineEvent(0, "X", "cuda", 0.0, 0.0, "noop")]
         assert "zero-length" in render_timeline(events)
 
+    def test_every_event_gets_a_cell_at_tiny_width(self):
+        """A nonzero-duration event must paint >= 1 cell however narrow the
+        rendering — a 1%-long event at width 8 used to be at the mercy of
+        rounding."""
+        events = [
+            TimelineEvent(0, "T4", "cuda", 0.0, 0.01, "tiny"),
+            TimelineEvent(0, "T4", "comm", 0.99, 1.0, "tail"),
+        ]
+        text = render_timeline(events, width=8)
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert all("#" in r for r in rows)
+
+    def test_events_do_not_bleed_into_successor_cells(self):
+        """Half-open cell ranges: back-to-back events tile the row without
+        the first stealing a full extra cell from the second."""
+        events = [
+            TimelineEvent(0, "T4", "cuda", 0.0, 0.5, "a"),
+            TimelineEvent(0, "T4", "cuda", 0.5, 1.0, "b"),
+        ]
+        text = render_timeline(events, width=10)
+        row = next(l for l in text.splitlines() if "|" in l)
+        assert row.count("#") == 10  # exactly tiled, no '.' holes
+
+    def test_unmerged_ranks_sort_numerically(self):
+        """Rank 10 must sort after rank 2 (not lexically between #1 and #2),
+        and each worker's streams must stay adjacent."""
+        events = []
+        for rank in (10, 2, 1):
+            events.append(TimelineEvent(rank, "T4", "cuda", 0.0, 1.0, "f"))
+            events.append(TimelineEvent(rank, "T4", "comm", 0.0, 1.0, "c"))
+        text = render_timeline(events, merge_ranks=False)
+        labels = [l.split("|")[0].strip() for l in text.splitlines() if "|" in l]
+        assert labels == [
+            "T4#1/comm", "T4#1/cuda", "T4#2/comm", "T4#2/cuda",
+            "T4#10/comm", "T4#10/cuda",
+        ]
+
 
 class TestLocalDFGAccounting:
     def test_cast_time_counts_only_casts(self):

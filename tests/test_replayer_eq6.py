@@ -1,0 +1,165 @@
+"""Hand-computed pins for the Eq. (6) synchronous-collective recurrence.
+
+A 2-rank, 2-bucket global DFG small enough to evaluate by hand:
+
+* rank 0: forward 1.0 s, backward [2.0, 1.0] s, optimizer 0.1 s;
+  bucket 0 ready after backward idx 0 (t=3.0), bucket 1 after idx 1 (t=4.0).
+* rank 1: forward 2.0 s, backward [1.5, 1.5] s, optimizer 0.2 s;
+  bucket 0 ready at t=3.5, bucket 1 at t=5.0.
+* buckets: 2 MB then 1 MB (identical on both ranks).
+
+Every expected value below is derived in comments, pinning both the
+recurrence itself and the flat-ring collective costs — so this module also
+guards the PR 3 parity contract: the default (flat) model must keep
+producing exactly these numbers, while the hierarchical model only changes
+the per-bucket durations, never the recurrence.
+"""
+
+import pytest
+
+from repro.core.dfg import CommBucket, DFGNode, GlobalDFG, LocalDFG, NodeKind
+from repro.core.replayer import simulate_global_dfg
+from repro.hardware import T4, V100, Cluster, LinkSpec, NodeSpec, Topology, Worker
+from repro.parallel.comm_model import FlatRingModel, HierarchicalModel
+
+BW = 1e8  # NIC bandwidth, bytes/s
+ALPHA = 0.01  # collective step latency, s
+B0 = 2_000_000  # bucket 0 bytes
+B1 = 1_000_000  # bucket 1 bytes
+
+
+def _cluster(topology=None):
+    return Cluster(
+        name="pair",
+        workers=(
+            Worker(rank=0, device=V100, link_bandwidth=BW),
+            Worker(rank=1, device=T4, link_bandwidth=BW),
+        ),
+        collective_latency=ALPHA,
+        topology=topology,
+    )
+
+
+def _local(rank, device, fwd, bwds, opt):
+    dfg = LocalDFG(device, rank)
+    dfg.add_forward(DFGNode("f", NodeKind.FORWARD, fwd))
+    for i, d in enumerate(bwds):
+        dfg.add_backward(DFGNode(f"b{i}", NodeKind.BACKWARD, d, op=f"w{i}"))
+    dfg.set_buckets(
+        [CommBucket(0, B0, ("w0",)), CommBucket(1, B1, ("w1",))],
+        {0: 0, 1: 1},
+    )
+    dfg.set_optimizer(opt)
+    return dfg
+
+
+def _gdfg():
+    return GlobalDFG([
+        _local(0, "V100", 1.0, [2.0, 1.0], 0.1),
+        _local(1, "T4", 2.0, [1.5, 1.5], 0.2),
+    ])
+
+
+class TestFlatRingRecurrence:
+    """Expected timeline under the flat ring (k=2):
+
+    ``allreduce(n) = 2*(k-1)/k * n/BW + 2*(k-1)*ALPHA = n/1e8 + 0.02``
+    so bucket 0 lasts 0.04 s and bucket 1 lasts 0.03 s.
+
+    comm0: start = max(ready0) = max(3.0, 3.5) = 3.5, end = 3.54
+    comm1: start = max(max(4.0, 5.0), 3.54) = 5.0, end = 5.03
+    rank0: max(compute 4.0, comm 5.03) + opt 0.1 = 5.13, wait 1.03
+    rank1: max(compute 5.0, comm 5.03) + opt 0.2 = 5.23, wait 0.03
+    iteration = 5.23
+    """
+
+    def test_bucket_ready_times(self):
+        gdfg = _gdfg()
+        assert gdfg.locals[0].bucket_ready_times() == {0: 3.0, 1: 4.0}
+        assert gdfg.locals[1].bucket_ready_times() == {0: 3.5, 1: 5.0}
+
+    def test_flat_allreduce_durations_by_hand(self):
+        c = _cluster()
+        assert c.allreduce_time(B0) == pytest.approx(0.04)
+        assert c.allreduce_time(B1) == pytest.approx(0.03)
+
+    def test_recurrence_values(self):
+        sim = simulate_global_dfg(_gdfg(), _cluster())
+        assert sim.iteration_time == pytest.approx(5.23)
+        assert sim.comm_wait_time[0] == pytest.approx(1.03)
+        assert sim.comm_wait_time[1] == pytest.approx(0.03)
+
+    def test_bucket_serialization(self):
+        """Collectives are ordered: bucket 1 starts at
+        ``max(readiness, comm0_end)``.  Both branches of the max, by hand:
+
+        * bucket 0 halved to 1 MB: comm0 ends 3.5 + 0.03 = 3.53 < ready1
+          (5.0) -> readiness gates; iteration stays 5.23.
+        * bucket 0 grown to 200 MB: comm0 ends 3.5 + 2.02 = 5.52 > 5.0 ->
+          serialization gates; comm1 ends 5.55, iteration = 5.55 + 0.2.
+        """
+
+        def with_bucket0(nbytes):
+            gdfg = _gdfg()
+            for ldfg in gdfg.locals:
+                ldfg.set_buckets(
+                    [CommBucket(0, nbytes, ("w0",)), CommBucket(1, B1, ("w1",))],
+                    {0: 0, 1: 1},
+                )
+            return simulate_global_dfg(gdfg, _cluster())
+
+        assert with_bucket0(B1).iteration_time == pytest.approx(5.23)
+        assert with_bucket0(200_000_000).iteration_time == pytest.approx(5.75)
+
+    def test_default_model_is_flat_bit_identical(self):
+        """PR 3 parity pin: no model, the explicit flat model, and the
+        pre-topology formula agree bit-for-bit."""
+        default = simulate_global_dfg(_gdfg(), _cluster())
+        explicit = simulate_global_dfg(
+            _gdfg(), _cluster(), collective_model=FlatRingModel()
+        )
+        by_name = simulate_global_dfg(_gdfg(), _cluster(), collective_model="flat")
+        assert default.iteration_time == explicit.iteration_time == by_name.iteration_time
+        assert default.comm_wait_time == explicit.comm_wait_time == by_name.comm_wait_time
+
+
+class TestHierarchicalRecurrence:
+    """Both ranks share one node with a 4e8 B/s, 1 ms intra link:
+
+    ``allreduce(n) = 2*[(m-1)/m * n/bw + (m-1)*lat] = n/4e8 + 0.002``
+    so bucket 0 lasts 0.007 s and bucket 1 lasts 0.0045 s.
+
+    comm0: start 3.5, end 3.507
+    comm1: start max(5.0, 3.507) = 5.0, end 5.0045
+    rank0 end = 5.0045 + 0.1, rank1 end = 5.0045 + 0.2 = 5.2045
+    """
+
+    def _topology(self):
+        intra = LinkSpec("testlink", 4e8, 1e-3, "intra")
+        up = LinkSpec("upl", BW, ALPHA, "inter")
+        return Topology(
+            nodes=(NodeSpec(name="n0", ranks=(0, 1), intra_link=intra, uplink=up),)
+        )
+
+    def test_hierarchical_durations_by_hand(self):
+        c = _cluster(self._topology())
+        model = HierarchicalModel()
+        assert model.allreduce_time(c, B0) == pytest.approx(0.007)
+        assert model.allreduce_time(c, B1) == pytest.approx(0.0045)
+
+    def test_recurrence_values(self):
+        sim = simulate_global_dfg(
+            _gdfg(), _cluster(self._topology()), collective_model="hierarchical"
+        )
+        assert sim.iteration_time == pytest.approx(5.2045)
+        assert sim.comm_wait_time[0] == pytest.approx(1.0045)
+        assert sim.comm_wait_time[1] == pytest.approx(0.0045)
+
+    def test_flat_results_unchanged_by_topology(self):
+        """Attaching a topology must not move the *flat* model's output —
+        only an explicit hierarchical/tree selection reads the node
+        grouping (the PR 3 default-parity invariant)."""
+        plain = simulate_global_dfg(_gdfg(), _cluster())
+        with_topo = simulate_global_dfg(_gdfg(), _cluster(self._topology()))
+        assert plain.iteration_time == with_topo.iteration_time
+        assert plain.comm_wait_time == with_topo.comm_wait_time
