@@ -1,0 +1,154 @@
+"""PlanSession profiling reuse: warm what-if queries vs a cold session.
+
+The session API's pitch is that one :class:`PlanSession` owns the expensive
+profiling artifacts (operator catalogs, cast-cost fits, synthesized stats,
+template DAGs) and amortizes them across what-if queries.  This benchmark
+measures exactly that claim:
+
+* **cold** — a fresh session's first ``plan()`` (profiles every device
+  type from scratch);
+* **warm** — subsequent ``plan()`` calls on the *same* session for
+  different strategies and collective models (zero profiling events, by
+  counter);
+* **parity** — a warm what-if must be bit-identical to the same request on
+  a cold session (reuse is invisible in the results);
+* **compare** — the five-strategy baseline table on the warm session.
+
+Writes timings, counters, and the headline second-call speedup to
+``BENCH_session.json``.
+
+Standalone: ``python -m benchmarks.bench_session [--small] [output.json]``.
+The tier-1 suite runs a scaled-down smoke invocation
+(``tests/test_bench_session.py``) asserting the >= 3x second-call speedup
+and the zero-reprofiling counter, so reuse regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.hardware import make_cluster_a
+from repro.session import PlanRequest, PlanSession
+
+#: mini-BERT graph mirror on a ClusterA slice; repeats=3 is the legacy
+#: profiling default the one-shot entry points pay on every call.
+FULL_SETUP = dict(
+    batch=8, width_scale=16, spatial_scale=8,
+    n_training=2, n_inference=2, profile_repeats=3,
+)
+#: Scaled down for the tier-1 smoke test.
+SMALL_SETUP = dict(
+    batch=4, width_scale=4, spatial_scale=2,
+    n_training=1, n_inference=1, profile_repeats=3,
+)
+
+#: Warm what-if sequence: same hardware, different question each time.
+#: The first entry is "the second plan call" of the headline number.
+WHAT_IFS = (
+    ("dpro", dict(strategy="dpro")),
+    ("uniform+hierarchical", dict(collective_model="hierarchical")),
+    ("uniform+tree", dict(collective_model="tree")),
+    ("dpro+hierarchical", dict(strategy="dpro", collective_model="hierarchical")),
+)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def run_bench(small: bool = False, path: str | Path = "BENCH_session.json") -> dict:
+    setup = SMALL_SETUP if small else FULL_SETUP
+    cluster = make_cluster_a(setup["n_training"], setup["n_inference"])
+    base = PlanRequest(
+        model="mini_bert",
+        model_kwargs=dict(
+            batch_size=setup["batch"],
+            width_scale=setup["width_scale"],
+            spatial_scale=setup["spatial_scale"],
+        ),
+        cluster=cluster,
+        strategy="uniform",
+        profile_repeats=setup["profile_repeats"],
+    )
+
+    session = PlanSession()
+    cold_seconds, cold_outcome = _timed(lambda: session.plan(base))
+    cold_events = session.stats.profile_events
+
+    what_if_seconds: dict[str, float] = {}
+    what_if_outcomes = {}
+    for label, overrides in WHAT_IFS:
+        request = dataclasses.replace(base, **overrides)
+        elapsed, outcome = _timed(lambda: session.plan(request))
+        what_if_seconds[label] = elapsed
+        what_if_outcomes[label] = (request, outcome)
+    warm_events = session.stats.profile_events - cold_events
+
+    # Replay the first what-if on a cold session: same request, so the
+    # timing is apples-to-apples (the headline speedup) and the result
+    # must be bit-identical (reuse is invisible).
+    probe_label = WHAT_IFS[0][0]
+    probe_request, probe_outcome = what_if_outcomes[probe_label]
+    cold_probe_seconds, cold_probe = _timed(
+        lambda: PlanSession().plan(probe_request)
+    )
+    parity = (
+        cold_probe.simulation == probe_outcome.simulation
+        and cold_probe.plan == probe_outcome.plan
+    )
+
+    second_call_seconds = what_if_seconds[probe_label]
+    speedup = cold_probe_seconds / second_call_seconds
+
+    # The five-strategy baseline table, entirely on warm artifacts.
+    events_before = session.stats.profile_events
+    compare_seconds, table = _timed(lambda: session.compare(base))
+    compare_events = session.stats.profile_events - events_before
+
+    payload = {
+        "setup": {k: v for k, v in setup.items()},
+        "cluster": cluster.describe(),
+        "cold_seconds": cold_seconds,
+        "cold_probe_seconds": cold_probe_seconds,
+        "second_call_seconds": second_call_seconds,
+        "speedup_second_call": speedup,
+        "what_if_seconds": what_if_seconds,
+        "profile_events_cold": cold_events,
+        "profile_events_warm": warm_events,
+        "warm_matches_cold": parity,
+        "cold_iteration_ms": cold_outcome.simulation.iteration_time * 1e3,
+        "compare": {
+            "seconds": compare_seconds,
+            "profile_events": compare_events,
+            "iteration_ms": {
+                name: outcome.simulation.iteration_time * 1e3
+                for name, outcome in table.items()
+            },
+        },
+        "session_stats": dataclasses.asdict(session.stats),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(
+        f"cold plan: {cold_probe_seconds * 1e3:.1f} ms | same request warm: "
+        f"{second_call_seconds * 1e3:.1f} ms | speedup {speedup:.1f}x | "
+        f"warm profiling events: {warm_events} | parity: {parity}"
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    args = [a for a in sys.argv[1:]]
+    small = "--small" in args
+    paths = [a for a in args if not a.startswith("--")]
+    run_bench(small=small, path=paths[0] if paths else "BENCH_session.json")

@@ -1,33 +1,41 @@
 """Quickstart: plan hybrid mixed-precision training for VGG16 on ClusterA.
 
 Runs the full QSync workflow (profile -> indicator -> replay -> allocate)
-for the paper's VGG16/ImageNet configuration on a V100+T4 hybrid cluster
-and prints the resulting precision plan and predicted training timeline.
+through the session API: a declarative ``PlanRequest`` names the model,
+cluster, and strategy; a ``PlanSession`` owns the profiled artifacts and
+reuses them across what-if queries — the uniform-precision baseline below
+re-profiles nothing.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import qsync_plan
+import dataclasses
+
+from repro import PlanRequest, PlanSession
 from repro.hardware import make_cluster_a
-from repro.models import vgg16_graph
 
 
 def main() -> None:
     # The paper's training configuration: local batch 128, ImageNet shapes.
     # (Smaller batch here keeps the example snappy; bump to 128 for the
-    # full-scale numbers.)
-    graph_builder = lambda: vgg16_graph(batch_size=32)
-
-    # 1 training server slice (V100) + 1 inference GPU (T4).  Use
-    # make_cluster_a(16, 16) for the paper's full testbed.
+    # full-scale numbers.)  1 training server slice (V100) + 1 inference
+    # GPU (T4); use make_cluster_a(16, 16) for the paper's full testbed.
     cluster = make_cluster_a(n_training=1, n_inference=1)
+    request = PlanRequest(
+        model="vgg16",
+        model_kwargs={"batch_size": 32},
+        cluster=cluster,
+        loss="ce",
+    )
 
+    session = PlanSession()
     print(f"Planning on {cluster.describe()} ...")
-    plan, report = qsync_plan(graph_builder, cluster, loss="ce")
+    outcome = session.plan(request)  # strategy "qsync" — profiles once
 
     print()
-    print(report.summary())
+    print(outcome.report.summary())
     print()
+    plan = outcome.plan
     print("Precision plan for the T4 workers:")
     print(f"  {plan.summary()}")
     print()
@@ -37,6 +45,18 @@ def main() -> None:
         print(f"  {op}: {plan.for_device('T4')[op].value}")
     if len(quantized) > 10:
         print(f"  ... and {len(quantized) - 10} more")
+
+    # What-if on the warm session: the uniform-precision baseline reuses
+    # the catalogs and cast models profiled above (zero re-profiling).
+    events_before = session.stats.profile_events
+    up = session.plan(dataclasses.replace(request, strategy="uniform"))
+    assert session.stats.profile_events == events_before
+    print()
+    print(
+        f"Uniform-precision baseline (same session, 0 new profilings): "
+        f"{up.simulation.iteration_time * 1e3:.1f} ms/iter vs QSync's "
+        f"{outcome.simulation.iteration_time * 1e3:.1f} ms/iter"
+    )
 
 
 if __name__ == "__main__":

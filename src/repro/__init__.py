@@ -9,37 +9,59 @@ protect final accuracy.
 Package map (bottom-up):
 
 =====================  =====================================================
-``repro.common``       precision dtypes, units, RNG discipline
+``repro.common``       precision dtypes, units, RNG discipline, stable hash
 ``repro.quant``        stochastic-rounding fixed/float quantizers + theory
 ``repro.tensor``       numpy tape autodiff with precision-aware modules
 ``repro.graph``        operator taxonomy and the Precision DAG
-``repro.hardware``     device specs (V100/T4/A10/A100) and cluster presets
+``repro.hardware``     device specs (V100/T4/A10/A100), cluster presets,
+                       node topologies
 ``repro.profiling``    roofline cost model, casting-cost models, memory
 ``repro.backend``      "LP-PyTorch": kernel templates, autotuner, MinMax,
                        dequantization fusion, security wrapper
 ``repro.core``         the paper's contribution — Predictor (Indicator +
                        Replayer/Cost-Mapper/Simulator) and Allocator
+``repro.session``      the front door: declarative ``PlanRequest``s,
+                       profiling-reusing ``PlanSession``, pluggable planner
+                       strategies (qsync/uniform/dpro/hessian/random)
 ``repro.parallel``     synchronous hybrid mixed-precision data parallelism
 ``repro.train``        optimizers, schedulers, synthetic datasets, loops
 ``repro.baselines``    UP, DBS, Hessian/Random indicators, Dpro replayer
-``repro.experiments``  one harness per paper table/figure
+``repro.experiments``  one harness per paper table/figure + sweep engine
 =====================  =====================================================
 
-Quickstart::
+Quickstart — a session amortizes profiling across what-if queries::
+
+    from repro import PlanRequest, PlanSession
+    from repro.hardware import make_cluster_a
+
+    session = PlanSession()
+    request = PlanRequest(model="vgg16", model_kwargs={"batch_size": 128},
+                          cluster=make_cluster_a())
+    outcome = session.plan(request)          # profiles once
+    print(outcome.report.summary())
+
+    table = session.compare(request)         # all strategies, zero re-profiling
+    for name, o in table.items():
+        print(name, f"{o.simulation.iteration_time * 1e3:.1f} ms")
+
+The legacy one-shot facade is still exported::
 
     from repro import qsync_plan
-    from repro.hardware import make_cluster_a
-    from repro.models import vgg16_graph
-
     plan, report = qsync_plan(vgg16_graph(batch_size=128), make_cluster_a())
-    print(report.summary())
 """
 
 from repro.common import Precision
 
 __version__ = "1.0.0"
 
-__all__ = ["Precision", "qsync_plan", "__version__"]
+__all__ = [
+    "Precision",
+    "PlanOutcome",
+    "PlanRequest",
+    "PlanSession",
+    "qsync_plan",
+    "__version__",
+]
 
 
 def qsync_plan(*args, **kwargs):
@@ -51,3 +73,12 @@ def qsync_plan(*args, **kwargs):
     from repro.core.qsync import qsync_plan as _impl
 
     return _impl(*args, **kwargs)
+
+
+def __getattr__(name: str):
+    """Lazy session API exports (PEP 562) — same cheap-import rationale."""
+    if name in ("PlanSession", "PlanRequest", "PlanOutcome"):
+        import repro.session as _session
+
+        return getattr(_session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

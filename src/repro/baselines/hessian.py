@@ -84,6 +84,24 @@ def hessian_top_eigenvalues(
     return eigenvalues
 
 
+def structural_eigenvalues(dag, stats: dict[str, OperatorStats]) -> dict[str, float]:
+    """Gauss–Newton curvature proxy for graph-scale (non-executable) models.
+
+    Power iteration needs real gradients, which the full-size catalog
+    graphs don't have.  For a linear map the Gauss–Newton weight-block
+    Hessian is ``x^T H_out x``, so its top eigenvalue scales with the
+    squared input-activation norm — the same "weight-loss curvature only"
+    view the paper critiques.  Deterministic in the profiled statistics,
+    so plans (and parity tests) are reproducible without an executable
+    twin.
+    """
+    return {
+        op: float(stats[op].act_norm_sq)
+        for op in dag.adjustable_ops()
+        if op in stats
+    }
+
+
 class HessianIndicator:
     """HAWQ-style sensitivity conforming to :class:`IndicatorProtocol`.
 

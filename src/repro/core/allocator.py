@@ -339,7 +339,7 @@ class Allocator:
             device = self._device_for_type(name)
             plans[name] = self._initial_plan(dag, ranks, device)
         initial_sim = self.replayer.simulate()
-        initial_counts = _counts(plans)
+        initial_counts = precision_counts(plans)
 
         # Recovery heaps: one per device type (all same-type workers share
         # the plan — identical devices, identical local batches).
@@ -395,7 +395,7 @@ class Allocator:
             recovery_attempts=attempts,
             recovery_accepted=accepted,
             initial_counts=initial_counts,
-            final_counts=_counts(plans),
+            final_counts=precision_counts(plans),
             recovery_full_rebuilds=self.replayer.full_rebuilds() - rebuilds_before,
             recovery_incremental_updates=(
                 self.replayer.incremental_updates() - deltas_before
@@ -430,7 +430,10 @@ class Allocator:
         return (-decrement, next(tiebreak), op)
 
 
-def _counts(plans: dict[str, dict[str, Precision]]) -> dict[str, int]:
+def precision_counts(plans: dict[str, dict[str, Precision]]) -> dict[str, int]:
+    """Precision-value histogram over per-device-type plans (the
+    ``initial_counts``/``final_counts`` shape of :class:`AllocationReport`,
+    shared with the session's passive strategies)."""
     out: dict[str, int] = {}
     for ops in plans.values():
         for prec in ops.values():

@@ -1,4 +1,4 @@
-"""The end-to-end QSync workflow (Fig. 3).
+"""The end-to-end QSync workflow (Fig. 3) — legacy compatibility surface.
 
 ``qsync_plan`` executes steps 1-5 of the paper's pipeline:
 
@@ -13,6 +13,13 @@
 5. The optimized :class:`PrecisionPlan` plus a :class:`QSyncReport` come
    back; steps 6-7 (kernel configuration, actual training) live in
    :mod:`repro.backend` and :mod:`repro.parallel`.
+
+Since the :mod:`repro.session` redesign this module is a *thin wrapper*:
+both entry points delegate to an ephemeral
+:class:`~repro.session.session.PlanSession`, which owns the profiling
+artifacts and the planner strategies.  Callers that issue more than one
+query should hold a session themselves and reuse it — repeated
+``session.plan()`` calls over the same device types re-profile nothing.
 """
 
 from __future__ import annotations
@@ -20,16 +27,11 @@ from __future__ import annotations
 import dataclasses
 
 from repro.backend.lp_backend import LPBackend
-from repro.common.dtypes import Precision
-from repro.core.allocator import AllocationReport, Allocator, AllocatorConfig
-from repro.core.indicator import IndicatorProtocol, VarianceIndicator, gamma_for_loss
+from repro.core.allocator import AllocationReport, AllocatorConfig
 from repro.core.plan import PrecisionPlan
 from repro.core.replayer import Replayer, SimulationResult
-from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import Cluster
-from repro.profiling.casting import CastCostCalculator
-from repro.profiling.profiler import profile_operator_costs
-from repro.profiling.stats import OperatorStats, synthesize_stats
+from repro.profiling.stats import OperatorStats
 
 
 @dataclasses.dataclass
@@ -62,35 +64,30 @@ def build_replayer(
     """Construct a Replayer with per-rank DAGs, catalogs, and cast models.
 
     ``dag_builder()`` must return a fresh PrecisionDAG per call (each rank
-    mutates its own copy).  Profiling artifacts are shared across same-type
-    workers (one catalog per device type, like the paper's homogeneous-set
-    tracing).
+    mutates its own copy); a PrecisionDAG instance is copied per rank.
+    Profiling artifacts are shared across same-type workers (one catalog
+    per device type, like the paper's homogeneous-set tracing).  A partial
+    ``backends`` dict is filled with default :class:`LPBackend`\\ s for the
+    missing ranks; a backend whose device mismatches its rank's worker
+    raises :class:`ValueError`.
+
+    Compatibility wrapper: one-shot callers only.  For repeated queries use
+    :class:`repro.session.PlanSession` and keep the profiling warm.
     """
-    if backends is None:
-        backends = {}
-        for w in cluster.workers:
-            backends[w.rank] = LPBackend(w.device, seed=0)
-    dags = {w.rank: dag_builder() for w in cluster.workers}
+    from repro.session.request import PlanRequest
+    from repro.session.session import PlanSession
 
-    catalogs_by_type: dict[str, object] = {}
-    casts_by_type: dict[str, CastCostCalculator] = {}
-    catalogs = {}
-    cast_calcs = {}
-    for w in cluster.workers:
-        tname = w.device.name
-        if tname not in catalogs_by_type:
-            catalogs_by_type[tname] = profile_operator_costs(
-                dags[w.rank], backends[w.rank], repeats=profile_repeats
-            )
-            casts_by_type[tname] = CastCostCalculator(backends[w.rank])
-        catalogs[w.rank] = catalogs_by_type[tname]
-        cast_calcs[w.rank] = casts_by_type[tname]
-
-    replayer = Replayer(
-        cluster, dags, catalogs, cast_calcs, optimizer_slots=optimizer_slots,
-        collective_model=collective_model,
+    ctx = PlanSession().prepare(
+        PlanRequest(
+            model=dag_builder,
+            cluster=cluster,
+            optimizer_slots=optimizer_slots,
+            profile_repeats=profile_repeats,
+            collective_model=collective_model,
+            backends=backends,
+        )
     )
-    return replayer, backends
+    return ctx.replayer, ctx.backends
 
 
 def qsync_plan(
@@ -103,6 +100,7 @@ def qsync_plan(
     indicator_factory=None,
     config: AllocatorConfig | None = None,
     collective_model=None,
+    profile_repeats: int = 3,
 ) -> tuple[PrecisionPlan, QSyncReport]:
     """Run the QSync workflow and return (plan, report).
 
@@ -126,44 +124,27 @@ def qsync_plan(
     collective_model:
         All-reduce cost model name/instance; ``None`` keeps the flat-ring
         default (see :mod:`repro.parallel.comm_model`).
+    profile_repeats:
+        Measurements averaged per catalog entry (the experiments use 2/3).
+
+    Compatibility wrapper over ``PlanSession().plan(request)`` with the
+    ``"qsync"`` strategy.
     """
-    if isinstance(dag_builder, PrecisionDAG):
-        template = dag_builder
-        builder = template.copy
-    else:
-        builder = dag_builder
-        template = builder()
+    from repro.session.request import PlanRequest
+    from repro.session.session import PlanSession
 
-    if batch_size is None:
-        batch_size = template.spec(template.root()).output_shape[0]
-    if stats is None:
-        stats = synthesize_stats(template)
-    gamma = gamma_for_loss(loss, batch_size)
-
-    replayer, _backends = build_replayer(
-        builder, cluster, optimizer_slots=optimizer_slots,
-        collective_model=collective_model,
+    outcome = PlanSession().plan(
+        PlanRequest(
+            model=dag_builder,
+            cluster=cluster,
+            stats=stats,
+            loss=loss,
+            batch_size=batch_size,
+            optimizer_slots=optimizer_slots,
+            indicator=indicator_factory,
+            config=config,
+            collective_model=collective_model,
+            profile_repeats=profile_repeats,
+        )
     )
-
-    indicators: dict[str, IndicatorProtocol] = {}
-    amp_mode = config is not None and config.amp_mode
-    indicator_workers = cluster.workers if amp_mode else cluster.inference_workers
-    for w in indicator_workers:
-        if w.device.name not in indicators:
-            dag = replayer.dags[w.rank]
-            if indicator_factory is None:
-                indicators[w.device.name] = VarianceIndicator(dag, stats, gamma)
-            else:
-                indicators[w.device.name] = indicator_factory(dag, stats, gamma)
-
-    allocator = Allocator(replayer, indicators, config=config)
-    plan, alloc_report = allocator.allocate()
-
-    final = replayer.simulate(collect_timeline=True)
-    report = QSyncReport(
-        cluster=cluster.describe(),
-        model_summary=template.summary(),
-        allocation=alloc_report,
-        final_simulation=final,
-    )
-    return plan, report
+    return outcome.plan, outcome.report

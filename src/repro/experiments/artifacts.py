@@ -29,7 +29,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.sweep import ScenarioCell
 
 #: On-disk schema version; bump to invalidate every cached artifact at once.
-ARTIFACT_FORMAT = 1
+#: 2: PlanSession adoption — fig6's QSync leg now shares the UP leg's
+#: repeats=2 catalogs instead of re-profiling at the legacy default of 3.
+ARTIFACT_FORMAT = 2
 
 
 class ArtifactStore:

@@ -12,7 +12,6 @@ fast intra fabrics, while flat stays exactly the legacy model.
 
 from __future__ import annotations
 
-from repro.core.qsync import build_replayer
 from repro.experiments.base import ExperimentResult
 from repro.hardware.cluster import (
     Cluster,
@@ -20,8 +19,8 @@ from repro.hardware.cluster import (
     make_cluster_a_multinode,
     make_cluster_b_multinode,
 )
-from repro.models import mini_model_graph
 from repro.parallel.comm_model import COLLECTIVE_MODELS
+from repro.session import PlanRequest, PlanSession
 
 #: Graph mirror priced on every preset.  Sweep scenario axes derive this
 #: experiment's cache-key model set and configuration from these constants
@@ -51,7 +50,10 @@ def build_preset(name: str, quick: bool = True) -> Cluster:
 
 
 def price_collectives(
-    cluster: Cluster, quick: bool = True, profile_repeats: int | None = None
+    cluster: Cluster,
+    quick: bool = True,
+    profile_repeats: int | None = None,
+    session: PlanSession | None = None,
 ) -> tuple[dict[str, dict[str, float]], list]:
     """Price one cluster's gradient buckets under every collective model.
 
@@ -59,15 +61,19 @@ def price_collectives(
     ``benchmarks.bench_comm``'s JSON payload (so the two can never drift):
     one Replayer per cluster, then per registered model a simulate plus the
     per-bucket all-reduce total.  Returns ``(per-model stats, buckets)``.
+    Pass a shared ``session`` to reuse device-type catalogs across presets
+    (V100/T4 repeat across the multi-node clusters).
     """
     graph_kw = QUICK_GRAPH_KW if quick else GRAPH_KW
     if profile_repeats is None:
         profile_repeats = 1 if quick else 2
-    replayer, _ = build_replayer(
-        lambda: mini_model_graph(MODEL_NAME, **graph_kw),
-        cluster,
-        profile_repeats=profile_repeats,
+    ctx = (session or PlanSession()).prepare(
+        PlanRequest(
+            model=MODEL_NAME, model_kwargs=graph_kw, cluster=cluster,
+            profile_repeats=profile_repeats,
+        )
     )
+    replayer = ctx.replayer
     buckets = replayer.local_dfg(0).buckets
     results: dict[str, dict[str, float]] = {}
     for name, model_cls in COLLECTIVE_MODELS.items():
@@ -89,11 +95,12 @@ def run(
 ) -> ExperimentResult:
     presets = PRESETS if presets is None else tuple(presets)
 
+    session = PlanSession()  # shared: device types repeat across presets
     rows = []
     extras: dict[str, object] = {}
     for preset in presets:
         cluster = build_preset(preset, quick=quick)
-        models, buckets = price_collectives(cluster, quick=quick)
+        models, buckets = price_collectives(cluster, quick=quick, session=session)
         flat_ms = models["flat"]["iteration_seconds"] * 1e3
         for model_name, stats in models.items():
             iteration_ms = stats["iteration_seconds"] * 1e3

@@ -4,18 +4,19 @@ Renders the CUDA/COMM stream waterfall of one simulated iteration under the
 uniform-precision plan and under QSync's plan, and quantifies the waiting
 time (the bubble between an inference GPU finishing its compute and the
 collective completing) that QSync's precision recovery reclaims.
+
+Both methods run as planner strategies on one :class:`PlanSession`, so the
+per-device-type catalogs and cast models are profiled once and shared —
+the legacy harness profiled the cluster twice (once per method).
 """
 
 from __future__ import annotations
 
-from repro.baselines import uniform_precision_plan
-from repro.common.dtypes import Precision
-from repro.core.qsync import qsync_plan, build_replayer
 from repro.experiments.base import ExperimentResult
 from repro.experiments.protocol import GRAPH_SCALE, find_pressure_batch
 from repro.hardware import T4, make_cluster_a
-from repro.models import mini_model_graph
 from repro.parallel import render_timeline, timeline_summary
+from repro.session import PlanRequest, PlanSession
 
 
 #: Sweep scenario axes derive this figure's cache-key model set from here.
@@ -25,23 +26,20 @@ MODEL_NAME = "mini_vggbn"
 def run(quick: bool = True) -> ExperimentResult:
     model_name = MODEL_NAME
     batch = find_pressure_batch(model_name, T4.memory_bytes)
-    builder = lambda: mini_model_graph(
-        model_name, batch_size=batch, **GRAPH_SCALE[model_name]
-    )
     cluster = make_cluster_a(1, 1) if quick else make_cluster_a(2, 2)
 
-    # --- UP timeline.
-    replayer, _ = build_replayer(builder, cluster, profile_repeats=2)
-    template = replayer.dags[cluster.inference_workers[0].rank]
-    up = uniform_precision_plan(template, cluster.inference_workers[0].device)
-    for w in cluster.inference_workers:
-        replayer.apply_plan(w.rank, up)
-    up_sim = replayer.simulate(collect_timeline=True)
+    session = PlanSession()
+    request = PlanRequest(
+        model=model_name,
+        model_kwargs=dict(batch_size=batch, **GRAPH_SCALE[model_name]),
+        cluster=cluster,
+        loss="ce",
+        profile_repeats=2,
+    )
+    outcomes = session.compare(request, strategies=("uniform", "qsync"))
+    up_sim = outcomes["uniform"].simulation
+    qs_sim = outcomes["qsync"].simulation
     up_stats = timeline_summary(up_sim)
-
-    # --- QSync timeline.
-    _plan, report = qsync_plan(builder, cluster, loss="ce")
-    qs_sim = report.final_simulation
     qs_stats = timeline_summary(qs_sim)
 
     rows = [

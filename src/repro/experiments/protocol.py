@@ -21,13 +21,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.baselines import dbs_batch_sizes, uniform_precision_plan
+from repro.baselines import dbs_batch_sizes
 from repro.common.dtypes import Precision
-from repro.core.indicator import VarianceIndicator, gamma_for_loss
 from repro.core.plan import PrecisionPlan
-from repro.core.qsync import build_replayer
-from repro.core.allocator import Allocator, AllocatorConfig
+from repro.core.allocator import AllocatorConfig
 from repro.hardware.cluster import Cluster
+from repro.session import PlanRequest, PlanSession
 from repro.models import make_mini_model, mini_model_graph
 from repro.parallel import DataParallelTrainer, WorkerConfig
 from repro.profiling import MemoryModel, collect_model_stats
@@ -84,15 +83,35 @@ def prepare_methods(
     stats: dict | None = None,
     loss: str = "ce",
     allocator_config: AllocatorConfig | None = None,
+    session: PlanSession | None = None,
 ) -> dict[str, MethodPlan]:
-    """Build ORACLE/DBS/UP/QSYNC plans + predicted throughputs."""
+    """Build ORACLE/DBS/UP/QSYNC plans + predicted throughputs.
+
+    UP and QSYNC run as planner strategies on one :class:`PlanSession`
+    (pass a shared ``session`` to amortize profiling across tables); the
+    FP32 baseline replayer for ORACLE/DBS comes from the same session's
+    context, so the whole method set profiles each device type once.
+    """
     scale = GRAPH_SCALE[model_name]
-    builder = lambda: mini_model_graph(model_name, batch_size=graph_batch, **scale)
-    template = builder()
+    session = session or PlanSession()
+    if stats is None:
+        stats = collect_executable_stats(model_name, loss=loss)
+    # gamma uses the executable local batch (the accuracy axis), not the
+    # production graph batch — hence the explicit batch_size.
+    request = PlanRequest(
+        model=model_name,
+        model_kwargs=dict(batch_size=graph_batch, **scale),
+        cluster=cluster,
+        loss=loss,
+        batch_size=exec_batch_per_worker,
+        stats=stats,
+        config=allocator_config,
+        profile_repeats=2,
+    )
+    ctx = session.prepare(request)
+    template, replayer = ctx.template, ctx.replayer
     k = cluster.size
     uniform_batches = [exec_batch_per_worker] * k
-
-    replayer, _ = build_replayer(builder, cluster, profile_repeats=2)
 
     # ---- ORACLE: all FP32 everywhere (throughput not defined in-paper).
     oracle = MethodPlan("ORACLE", {w.rank: {} for w in cluster.workers},
@@ -119,43 +138,28 @@ def prepare_methods(
                      dbs_batches, 1.0 / dbs_iter)
 
     # ---- UP: uniform lowest-fitting precision on inference workers.
+    up_out = session.plan(dataclasses.replace(request, strategy="uniform"))
     up_plans: dict[int, dict[str, Precision]] = {}
-    graph_up: dict[int, dict[str, Precision]] = {}
     for w in cluster.workers:
         if w.is_inference:
-            gp = uniform_precision_plan(template, w.device)
-            graph_up[w.rank] = gp
+            gp = up_out.plan.for_device(w.device.name)
             up_plans[w.rank] = _weighted_only(template, gp)
         else:
             up_plans[w.rank] = {}
-    for rank, gp in graph_up.items():
-        replayer.apply_plan(rank, gp)
-    up_sim = replayer.simulate()
-    up = MethodPlan("UP", up_plans, uniform_batches, up_sim.throughput)
-    for rank in graph_up:  # restore FP32 before the allocator runs
-        replayer.apply_plan(rank, {op: Precision.FP32 for op in graph_up[rank]})
+    up = MethodPlan("UP", up_plans, uniform_batches,
+                    up_out.simulation.throughput)
 
     # ---- QSYNC: the allocator's quantization-minimized plan.
-    if stats is None:
-        stats = collect_executable_stats(model_name, loss=loss)
-    gamma = gamma_for_loss(loss, exec_batch_per_worker)
-    indicators = {}
-    for w in cluster.inference_workers:
-        if w.device.name not in indicators:
-            indicators[w.device.name] = VarianceIndicator(
-                replayer.dags[w.rank], stats, gamma
-            )
-    allocator = Allocator(replayer, indicators, config=allocator_config)
-    qs_plan, _qs_report = allocator.allocate()
-    qs_sim = replayer.simulate()
+    qs_out = session.plan(dataclasses.replace(request, strategy="qsync"))
     qs_plans: dict[int, dict[str, Precision]] = {}
     for w in cluster.workers:
         if w.is_inference:
-            gp = qs_plan.for_device(w.device.name)
+            gp = qs_out.plan.for_device(w.device.name)
             qs_plans[w.rank] = _weighted_only(template, gp)
         else:
             qs_plans[w.rank] = {}
-    qsync = MethodPlan("QSync", qs_plans, uniform_batches, qs_sim.throughput)
+    qsync = MethodPlan("QSync", qs_plans, uniform_batches,
+                       qs_out.simulation.throughput)
 
     return {"ORACLE": oracle, "DBS": dbs, "UP": up, "QSync": qsync}
 

@@ -16,12 +16,11 @@ from __future__ import annotations
 from repro.baselines import DproReplayer
 from repro.common.dtypes import Precision
 from repro.common.units import GBPS
-from repro.core.qsync import build_replayer
 from repro.core.simulator import GroundTruthSimulator
 from repro.experiments.base import ExperimentResult
 from repro.hardware import T4
 from repro.hardware.cluster import Cluster, Worker
-from repro.models import mini_model_graph
+from repro.session import PlanRequest, PlanSession
 
 
 #: 6-layer scaled mini-BERT so "layers 1,3,5" exist.  Sweep scenario axes
@@ -64,8 +63,13 @@ def run(quick: bool = True) -> ExperimentResult:
         ),
     )
     # 6-layer scaled mini-BERT so "layers 1,3,5" exist; dim 768, seq 128.
-    builder = lambda: mini_model_graph(MODEL_NAME, **GRAPH_KW)
-    replayer, backends = build_replayer(builder, cluster, profile_repeats=3)
+    ctx = PlanSession().prepare(
+        PlanRequest(
+            model=MODEL_NAME, model_kwargs=GRAPH_KW, cluster=cluster,
+            profile_repeats=3,
+        )
+    )
+    replayer, backends = ctx.replayer, ctx.backends
     dag_inf = replayer.dags[1]
     gt_iters = 3 if quick else 5
 

@@ -17,6 +17,7 @@ from repro.experiments.protocol import (
 )
 from repro.hardware import T4, make_cluster_a, make_cluster_b
 from repro.models import make_mini_model
+from repro.session import PlanSession
 from repro.train.data import make_image_classification, make_token_classification
 
 #: ClusterB memory ratio used by the reproduction.  The paper uses 30 %;
@@ -96,6 +97,9 @@ def _run_table(
     n_train = 768 if quick else 2048
     cluster = cluster_factory(2, 2) if not quick else cluster_factory(1, 1)
 
+    # One session per table: cast-cost fits (per device type) are shared
+    # across the table's models; catalogs are per model structure.
+    session = PlanSession()
     rows = []
     for display, model_name in model_map.items():
         if kind == "image":
@@ -109,6 +113,7 @@ def _run_table(
         methods = prepare_methods(
             model_name, cluster, graph_batch, exec_batch_per_worker=16,
             allocator_config=AllocatorConfig(max_recovery_steps=200 if quick else 10_000),
+            session=session,
         )
         for name in ("ORACLE", "DBS", "UP", "QSync"):
             method = methods[name]

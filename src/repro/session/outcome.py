@@ -1,0 +1,54 @@
+"""The common result shape every planner strategy returns.
+
+A :class:`PlanOutcome` bundles the three artifacts a what-if query wants —
+the precision plan, the final simulation, and the operator-facing
+:class:`QSyncReport` — regardless of whether the strategy was QSync's
+allocator, a baseline indicator swap, or a prediction-only baseline.  One
+shape means ``session.compare`` can tabulate all strategies without
+per-baseline adapters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.allocator import AllocationReport, precision_counts
+from repro.core.plan import PrecisionPlan
+from repro.core.qsync import QSyncReport
+from repro.core.replayer import SimulationResult
+
+
+@dataclasses.dataclass
+class PlanOutcome:
+    """What one planner strategy produced for one request."""
+
+    #: Registry name of the strategy that produced this outcome.
+    strategy: str
+    #: Per-device-type precision assignments (empty = all FP32).
+    plan: PrecisionPlan
+    #: Simulation of the final configuration (timeline collected).
+    simulation: SimulationResult
+    #: Operator-facing report; allocator strategies carry real recovery
+    #: diagnostics, passive strategies a zero-recovery snapshot.
+    report: QSyncReport
+
+    def summary(self) -> str:
+        return f"[{self.strategy}] {self.report.summary()}"
+
+
+def passive_allocation_report(
+    plan: PrecisionPlan, simulation: SimulationResult
+) -> AllocationReport:
+    """An :class:`AllocationReport` for strategies that run no recovery
+    loop (uniform, dpro): every throughput field is the final simulation's
+    and the precision counts simply describe the plan."""
+    counts = precision_counts(plan.assignments)
+    return AllocationReport(
+        t_min=simulation.throughput,
+        initial_throughput=simulation.throughput,
+        final_throughput=simulation.throughput,
+        recovery_attempts=0,
+        recovery_accepted=0,
+        initial_counts=dict(counts),
+        final_counts=dict(counts),
+    )

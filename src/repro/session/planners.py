@@ -1,0 +1,240 @@
+"""Planner strategies — pluggable implementations of "produce a plan".
+
+Every strategy consumes the same :class:`~repro.session.session.PlanContext`
+(cluster, per-rank replayer, profiled stats, gamma) and returns the same
+:class:`~repro.session.outcome.PlanOutcome`, which is what lets
+``session.compare`` run the paper's whole baseline table through one code
+path.  The registry is ordered and fixed at import time so comparison
+tables iterate deterministically.
+
+Strategies
+----------
+``qsync``
+    The paper's allocator (fastest-feasible init + max-heap recovery) with
+    the variance indicator — or the request's indicator override.
+``uniform``
+    Uniform Precision (UP): one lowest-fitting precision per inference
+    device type (Sec. VII baselines).
+``dpro``
+    Dpro-style prediction [35]: no plan search; replays the all-FP32
+    configuration without cast/cascade modelling (Table III's baseline).
+``hessian``
+    The allocator driven by the HAWQ-v3-style Hessian indicator [8]
+    (Gauss–Newton curvature proxy at graph scale).
+``random``
+    The allocator driven by the random indicator of Sec. VII-A1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.baselines.dpro import DproReplayer
+from repro.baselines.hessian import HessianIndicator, structural_eigenvalues
+from repro.baselines.random_ind import RandomIndicator
+from repro.baselines.uniform import uniform_precision_plan
+from repro.common.dtypes import Precision
+from repro.core.allocator import Allocator
+from repro.core.indicator import VarianceIndicator
+from repro.core.plan import PrecisionPlan
+from repro.core.qsync import QSyncReport
+from repro.session.outcome import PlanOutcome, passive_allocation_report
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.session import PlanContext
+
+
+class Planner(Protocol):
+    """The strategy interface: one context in, one outcome out."""
+
+    name: str
+
+    def plan(self, ctx: "PlanContext") -> PlanOutcome:
+        ...
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Planner] = {}
+
+
+def register_planner(planner: Planner) -> Planner:
+    """Register a strategy instance under its ``name`` (insertion order is
+    the canonical comparison order)."""
+    if planner.name in _REGISTRY:
+        raise ValueError(f"planner {planner.name!r} is already registered")
+    _REGISTRY[planner.name] = planner
+    return planner
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Registered strategy names, in canonical (registration) order."""
+    return tuple(_REGISTRY)
+
+
+def get_planner(name: str) -> Planner:
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown planner strategy {name!r}; available: "
+            f"{', '.join(available_strategies())}"
+        )
+    return _REGISTRY[name]
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _report(ctx: "PlanContext", allocation, simulation) -> QSyncReport:
+    return QSyncReport(
+        cluster=ctx.cluster.describe(),
+        model_summary=ctx.template.summary(),
+        allocation=allocation,
+        final_simulation=simulation,
+    )
+
+
+def _make_indicator(ctx: "PlanContext", dag, choice):
+    """Build one device type's indicator from a name, a legacy factory, or
+    ``None`` (the variance default)."""
+    if callable(choice) and not isinstance(choice, str):
+        return choice(dag, ctx.stats, ctx.gamma)
+    if choice in (None, "variance"):
+        return VarianceIndicator(dag, ctx.stats, ctx.gamma)
+    if choice == "random":
+        return RandomIndicator(list(dag.adjustable_ops()), seed=ctx.request.seed)
+    if choice == "hessian":
+        return HessianIndicator(structural_eigenvalues(dag, ctx.stats), ctx.stats)
+    raise ValueError(
+        f"unknown indicator {choice!r}; available: variance, hessian, random "
+        f"(or a (dag, stats, gamma) factory)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# allocator-backed strategies (qsync / hessian / random)
+# ---------------------------------------------------------------------------
+
+
+class AllocatorPlanner:
+    """The paper's allocation pipeline, parameterized by indicator.
+
+    ``indicator_override=None`` (the ``qsync`` strategy) honors the
+    request's indicator choice; the baseline strategies pin theirs.
+    """
+
+    def __init__(self, name: str, indicator_override: str | None = None) -> None:
+        self.name = name
+        self.indicator_override = indicator_override
+
+    def check_request(self, request) -> None:
+        """Fail loudly (and before profiling) instead of silently ignoring
+        an indicator that this strategy pins."""
+        if (
+            self.indicator_override is not None
+            and request.indicator not in (None, self.indicator_override)
+        ):
+            raise ValueError(
+                f"strategy {self.name!r} pins indicator "
+                f"{self.indicator_override!r} but the request asks for "
+                f"{request.indicator!r}; use strategy='qsync' with an "
+                f"indicator override instead"
+            )
+
+    def plan(self, ctx: "PlanContext") -> PlanOutcome:
+        request = ctx.request
+        cluster = ctx.cluster
+        replayer = ctx.replayer
+        choice = self.indicator_override or request.indicator
+
+        amp_mode = request.config is not None and request.config.amp_mode
+        indicator_workers = (
+            cluster.workers if amp_mode else cluster.inference_workers
+        )
+        indicators = {}
+        for w in indicator_workers:
+            if w.device.name not in indicators:
+                dag = replayer.dags[w.rank]
+                indicators[w.device.name] = _make_indicator(ctx, dag, choice)
+
+        allocator = Allocator(replayer, indicators, config=request.config)
+        plan, alloc_report = allocator.allocate()
+        final = replayer.simulate(collect_timeline=True)
+        return PlanOutcome(
+            strategy=self.name,
+            plan=plan,
+            simulation=final,
+            report=_report(ctx, alloc_report, final),
+        )
+
+
+# ---------------------------------------------------------------------------
+# uniform precision (UP)
+# ---------------------------------------------------------------------------
+
+
+class UniformPlanner:
+    """Uniform lowest-fitting precision per inference device type."""
+
+    name = "uniform"
+
+    def plan(self, ctx: "PlanContext") -> PlanOutcome:
+        replayer = ctx.replayer
+        assignments: dict[str, dict[str, Precision]] = {}
+        for w in ctx.cluster.inference_workers:
+            tname = w.device.name
+            if tname not in assignments:
+                assignments[tname] = uniform_precision_plan(
+                    replayer.dags[w.rank],
+                    w.device,
+                    memory_model=replayer.memory_model,
+                )
+            replayer.apply_plan(w.rank, assignments[tname])
+        sim = replayer.simulate(collect_timeline=True)
+        plan = PrecisionPlan(assignments=assignments)
+        return PlanOutcome(
+            strategy=self.name,
+            plan=plan,
+            simulation=sim,
+            report=_report(ctx, passive_allocation_report(plan, sim), sim),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dpro prediction baseline
+# ---------------------------------------------------------------------------
+
+
+class DproPlanner:
+    """Prediction-only baseline: no plan search, cast-blind replay of the
+    all-FP32 configuration (what Table III isolates)."""
+
+    name = "dpro"
+
+    def plan(self, ctx: "PlanContext") -> PlanOutcome:
+        replayer = ctx.replayer
+        catalogs = {rank: m.catalog for rank, m in replayer.mappers.items()}
+        dpro = DproReplayer(
+            ctx.cluster,
+            replayer.dags,
+            catalogs,
+            collective_model=replayer.collective_model,
+        )
+        sim = dpro.simulate()
+        plan = PrecisionPlan(assignments={})
+        return PlanOutcome(
+            strategy=self.name,
+            plan=plan,
+            simulation=sim,
+            report=_report(ctx, passive_allocation_report(plan, sim), sim),
+        )
+
+
+register_planner(AllocatorPlanner("qsync"))
+register_planner(UniformPlanner())
+register_planner(DproPlanner())
+register_planner(AllocatorPlanner("hessian", indicator_override="hessian"))
+register_planner(AllocatorPlanner("random", indicator_override="random"))

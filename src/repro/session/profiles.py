@@ -1,0 +1,240 @@
+"""The session's profiling-artifact store.
+
+One :class:`ProfileStore` owns the expensive, reusable artifacts of the
+Fig. 3 pipeline — per-device-type operator cost catalogs, fitted
+casting-cost models, synthesized indicator statistics, and built template
+DAGs — keyed by :mod:`repro.common.stable_hash` fingerprints of everything
+the artifact actually depends on.  Repeated ``PlanSession.plan()`` calls on
+the same device types therefore re-profile nothing: the catalog key digests
+the DAG's profiling-relevant structure (names, kinds, shapes, FLOPs,
+kernel precision sets, edges), the device's full analytical spec, the
+backend's measurement configuration, and the repeat count — so a hit is
+bit-identical to a fresh profile (backend jitter is keyed per
+(op, precision, rep), never drawn from mutable RNG state).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+from repro.backend.lp_backend import LPBackend
+from repro.common.stable_hash import stable_digest
+from repro.graph.dag import PrecisionDAG
+from repro.hardware.cluster import Cluster
+from repro.hardware.device import DeviceSpec
+from repro.profiling.casting import CastCostCalculator
+from repro.profiling.profiler import OperatorCostCatalog, profile_operator_costs
+from repro.profiling.stats import OperatorStats, synthesize_stats
+
+
+@dataclasses.dataclass
+class SessionStats:
+    """Counters proving (or disproving) cross-query artifact reuse."""
+
+    plan_calls: int = 0
+    prepare_calls: int = 0
+    #: From-scratch ``profile_operator_costs`` runs / cache hits.
+    catalog_profiles: int = 0
+    catalog_hits: int = 0
+    #: From-scratch ``CastCostCalculator`` fits / cache hits.
+    cast_fits: int = 0
+    cast_hits: int = 0
+    #: ``synthesize_stats`` runs / cache hits.
+    stats_syntheses: int = 0
+    stats_hits: int = 0
+    #: Template DAG builds / cache hits (string-named models only).
+    template_builds: int = 0
+    template_hits: int = 0
+
+    @property
+    def profile_events(self) -> int:
+        """Catalog profilings + cast-model fits — the expensive work a warm
+        session must not repeat (the acceptance counter)."""
+        return self.catalog_profiles + self.cast_fits
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+
+def device_fingerprint(device: DeviceSpec) -> str:
+    """Digest of every :class:`DeviceSpec` field a measurement can read —
+    two devices with equal fingerprints produce identical catalogs."""
+    return stable_digest(
+        (
+            device.name,
+            device.arch,
+            {p.value: float(f) for p, f in device.peak_flops.items()},
+            int(device.memory_bytes),
+            float(device.mem_bandwidth),
+            float(device.kernel_launch_overhead),
+            bool(device.is_training_gpu),
+            device.sharing,
+            float(device.memory_fraction),
+            float(device.compute_fraction),
+        )
+    )
+
+
+def backend_fingerprint(backend: LPBackend) -> str:
+    """Digest of the backend's measurement configuration (its jitter is
+    keyed per sample from ``seed``, so equal configs measure equal)."""
+    return stable_digest(
+        (
+            device_fingerprint(backend.device),
+            int(backend.seed),
+            float(backend.measurement_noise),
+            bool(backend.dequant_fusion),
+            bool(backend.minmax.optimized),
+        )
+    )
+
+
+def profiling_fingerprint(dag: PrecisionDAG) -> str:
+    """Digest of everything catalog profiling reads off a DAG: per-op name,
+    kind, shapes, FLOPs, the kernel precision set, and the predecessor
+    lists (which set each op's input element count).
+
+    Deliberately finer than :meth:`PrecisionDAG.structure_fingerprint`
+    (which omits FLOPs and kernel sets): this key must guarantee that a
+    cache hit serves a catalog bit-identical to a fresh profile.
+    """
+    return stable_digest(
+        tuple(
+            (
+                name,
+                dag.spec(name).kind,
+                dag.spec(name).output_shape,
+                dag.spec(name).weight_shape,
+                float(dag.spec(name).flops),
+                tuple(p.value for p in dag.spec(name).supported_precisions()),
+                tuple(dag.predecessors(name)),
+            )
+            for name in dag.topo_order()
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# backend resolution (shared with the legacy ``build_replayer`` wrapper)
+# ---------------------------------------------------------------------------
+
+
+def resolve_backends(
+    cluster: Cluster,
+    backends: Mapping[int, LPBackend] | None = None,
+    seed: int = 0,
+) -> dict[int, LPBackend]:
+    """Per-rank backends for a cluster, accepting *partial* overrides.
+
+    Missing ranks get a default ``LPBackend(worker.device, seed=seed)``;
+    a provided backend whose device does not match its rank's worker — or
+    a rank the cluster does not have — raises :class:`ValueError` instead
+    of surfacing later as a baffling KeyError or wrong-device catalog.
+    """
+    provided = dict(backends) if backends else {}
+    known_ranks = {w.rank for w in cluster.workers}
+    stray = sorted(set(provided) - known_ranks)
+    if stray:
+        raise ValueError(
+            f"backends provided for ranks {stray} not present in cluster "
+            f"{cluster.name!r} (ranks: {sorted(known_ranks)})"
+        )
+    resolved: dict[int, LPBackend] = {}
+    for w in cluster.workers:
+        backend = provided.get(w.rank)
+        if backend is None:
+            backend = LPBackend(w.device, seed=seed)
+        elif backend.device.name != w.device.name:
+            raise ValueError(
+                f"backend for rank {w.rank} models device "
+                f"{backend.device.name!r} but the cluster places "
+                f"{w.device.name!r} there"
+            )
+        resolved[w.rank] = backend
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class ProfileStore:
+    """Fingerprint-keyed cache of profiling artifacts (one per session)."""
+
+    def __init__(self) -> None:
+        self.stats = SessionStats()
+        self._catalogs: dict[tuple, OperatorCostCatalog] = {}
+        self._cast_calcs: dict[tuple, CastCostCalculator] = {}
+        self._op_stats: dict[tuple, dict[str, OperatorStats]] = {}
+        self._templates: dict[tuple, PrecisionDAG] = {}
+
+    # -- catalogs ------------------------------------------------------
+    def catalog_for(
+        self,
+        dag: PrecisionDAG,
+        device: DeviceSpec,
+        backend: LPBackend,
+        repeats: int,
+    ) -> OperatorCostCatalog:
+        key = (
+            "catalog",
+            profiling_fingerprint(dag),
+            backend_fingerprint(backend),
+            int(repeats),
+        )
+        hit = self._catalogs.get(key)
+        if hit is not None:
+            self.stats.catalog_hits += 1
+            return hit
+        self.stats.catalog_profiles += 1
+        catalog = profile_operator_costs(dag, backend, repeats=repeats)
+        self._catalogs[key] = catalog
+        return catalog
+
+    # -- cast-cost fits ------------------------------------------------
+    def cast_calc_for(self, backend: LPBackend) -> CastCostCalculator:
+        key = ("cast", backend_fingerprint(backend))
+        hit = self._cast_calcs.get(key)
+        if hit is not None:
+            self.stats.cast_hits += 1
+            return hit
+        self.stats.cast_fits += 1
+        calc = CastCostCalculator(backend)
+        self._cast_calcs[key] = calc
+        return calc
+
+    # -- synthesized indicator statistics ------------------------------
+    def stats_for(
+        self, template: PrecisionDAG, seed: int
+    ) -> dict[str, OperatorStats]:
+        key = ("stats", template.structure_fingerprint(), int(seed))
+        hit = self._op_stats.get(key)
+        if hit is not None:
+            self.stats.stats_hits += 1
+            return hit
+        self.stats.stats_syntheses += 1
+        stats = synthesize_stats(template, seed=seed)
+        self._op_stats[key] = stats
+        return stats
+
+    # -- template DAGs -------------------------------------------------
+    def template_for(
+        self, key: tuple | None, build: Callable[[], PrecisionDAG]
+    ) -> PrecisionDAG:
+        """Cached template when ``key`` identifies the recipe (string-named
+        models); opaque builders/DAG instances bypass the cache."""
+        if key is None:
+            return build()
+        full_key = ("template", key)
+        hit = self._templates.get(full_key)
+        if hit is not None:
+            self.stats.template_hits += 1
+            return hit
+        self.stats.template_builds += 1
+        template = build()
+        self._templates[full_key] = template
+        return template

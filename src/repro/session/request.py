@@ -1,0 +1,176 @@
+"""Declarative plan requests — the input shape of the :class:`PlanSession` API.
+
+A :class:`PlanRequest` names everything one what-if query needs: the model
+(a graph-catalog name, a mini-model name, a zero-arg builder, or a built
+:class:`PrecisionDAG`), the cluster (a :data:`CLUSTER_PRESETS` name or a
+:class:`Cluster`), the planner strategy, and the knobs the legacy
+``qsync_plan`` took positionally (loss, batch size, collective model,
+indicator, allocator config, seed, ``profile_repeats``, explicit backends).
+
+Requests are plain frozen dataclasses: building one performs no profiling
+and touches no hardware model.  All the expensive work happens when a
+:class:`~repro.session.session.PlanSession` resolves the request — and the
+session reuses every profiling artifact it has already paid for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping, Union
+
+from repro.backend.lp_backend import LPBackend
+from repro.core.allocator import AllocatorConfig
+from repro.graph.dag import PrecisionDAG
+from repro.core.indicator import gamma_for_loss
+from repro.hardware.cluster import CLUSTER_PRESETS, Cluster, get_cluster_preset
+from repro.parallel.comm_model import COLLECTIVE_MODELS, CollectiveModel
+from repro.profiling.stats import OperatorStats
+
+#: Indicator names the allocator-backed strategies understand.  ``None``
+#: (the default) means the strategy's own choice — QSync's variance
+#: indicator.  A callable is the legacy ``indicator_factory`` escape hatch:
+#: ``(dag, stats, gamma) -> IndicatorProtocol``.
+INDICATOR_NAMES = ("variance", "hessian", "random")
+
+
+def available_model_names() -> tuple[str, ...]:
+    """Model names a string-valued :attr:`PlanRequest.model` may use:
+    the full-size graph catalog plus the executable mini-model mirrors."""
+    from repro.models import MODEL_GRAPHS
+    from repro.models.trainable import MINI_MODELS
+
+    return tuple(sorted(set(MODEL_GRAPHS) | set(MINI_MODELS)))
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanRequest:
+    """One declarative planning query.
+
+    Parameters
+    ----------
+    model:
+        Graph-catalog name (``"vgg16"``), mini-model name (``"mini_bert"``),
+        zero-arg callable returning a fresh :class:`PrecisionDAG`, or a
+        built DAG (copied per rank; never mutated).
+    model_kwargs:
+        Builder kwargs when ``model`` is a name (``batch_size``,
+        ``width_scale``, ...).  Ignored for callables and DAG instances.
+    cluster:
+        :data:`CLUSTER_PRESETS` name or a :class:`Cluster` instance.
+    strategy:
+        Planner registry name (``"qsync"``, ``"uniform"``, ``"dpro"``,
+        ``"hessian"``, ``"random"``).  Validated at plan time so the error
+        can list what is actually registered.
+    loss:
+        ``"ce"`` or ``"mse"`` — sets the gamma of Proposition 3.
+    batch_size:
+        Local batch for the gamma computation; defaults to the graph
+        input's leading dimension.
+    optimizer_slots:
+        Memory-model optimizer state multiplier.
+    collective_model:
+        All-reduce cost model name/instance; ``None`` keeps the flat-ring
+        default (bit-identical to the pre-topology replayer).
+    indicator:
+        Indicator override for the allocator strategies: a name from
+        :data:`INDICATOR_NAMES`, a legacy ``(dag, stats, gamma)`` factory,
+        or ``None`` for the strategy default.
+    config:
+        Allocator tunables (also carries §VIII ``amp_mode``).
+    seed:
+        Seeds the synthesized indicator statistics and the random-indicator
+        draws.  Profiling noise is seeded by the backends, not by this.
+    profile_repeats:
+        Measurements averaged per (op, precision) catalog entry — the
+        experiments use 2/3; the legacy default is 3.
+    backends:
+        Optional per-rank :class:`LPBackend` overrides.  May be *partial*:
+        missing ranks get default backends; a backend modelling a different
+        device than its rank's worker is a :class:`ValueError`.
+    stats:
+        Indicator statistics; synthesized from the graph when omitted.
+    """
+
+    model: Union[str, Callable[[], PrecisionDAG], PrecisionDAG]
+    model_kwargs: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    cluster: Union[str, Cluster] = "cluster_a_4+4"
+    strategy: str = "qsync"
+    loss: str = "ce"
+    batch_size: int | None = None
+    optimizer_slots: int = 1
+    collective_model: Union[CollectiveModel, str, None] = None
+    indicator: Union[str, Callable, None] = None
+    config: AllocatorConfig | None = None
+    seed: int = 0
+    profile_repeats: int = 3
+    backends: Mapping[int, LPBackend] | None = None
+    stats: Mapping[str, OperatorStats] | None = None
+
+    def __post_init__(self) -> None:
+        # Every cheap knob is validated here, at construction — before a
+        # session pays for profiling — so a typo costs nothing.
+        if self.profile_repeats < 1:
+            raise ValueError(
+                f"profile_repeats must be >= 1, got {self.profile_repeats}"
+            )
+        gamma_for_loss(self.loss, 1)  # raises ValueError on unknown losses
+        if (
+            isinstance(self.collective_model, str)
+            and self.collective_model not in COLLECTIVE_MODELS
+        ):
+            raise ValueError(
+                f"unknown collective model {self.collective_model!r}; "
+                f"available: {sorted(COLLECTIVE_MODELS)}"
+            )
+        if isinstance(self.indicator, str) and self.indicator not in INDICATOR_NAMES:
+            raise ValueError(
+                f"unknown indicator {self.indicator!r}; available: "
+                f"{', '.join(INDICATOR_NAMES)} (or a (dag, stats, gamma) factory)"
+            )
+        if isinstance(self.cluster, str) and self.cluster not in CLUSTER_PRESETS:
+            raise ValueError(
+                f"unknown cluster preset {self.cluster!r}; available: "
+                f"{sorted(CLUSTER_PRESETS)}"
+            )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve_cluster(self) -> Cluster:
+        if isinstance(self.cluster, Cluster):
+            return self.cluster
+        return get_cluster_preset(self.cluster)
+
+    def model_cache_key(self) -> tuple | None:
+        """Hashable identity of the model *recipe*, or ``None`` when the
+        model is a callable/DAG (opaque — the session rebuilds those)."""
+        if not isinstance(self.model, str):
+            return None
+        return (self.model, tuple(sorted(self.model_kwargs.items())))
+
+    def build_template(self) -> PrecisionDAG:
+        """Build (or pass through) the template DAG for this request."""
+        if isinstance(self.model, PrecisionDAG):
+            return self.model
+        if callable(self.model):
+            return self.model()
+        from repro.models import MODEL_GRAPHS, mini_model_graph
+        from repro.models.trainable import MINI_MODELS
+
+        if self.model in MODEL_GRAPHS:
+            return MODEL_GRAPHS[self.model](**dict(self.model_kwargs))
+        if self.model in MINI_MODELS:
+            return mini_model_graph(self.model, **dict(self.model_kwargs))
+        raise ValueError(
+            f"unknown model {self.model!r}; available: "
+            f"{list(available_model_names())}"
+        )
+
+    def describe(self) -> str:
+        model = self.model if isinstance(self.model, str) else (
+            "<dag>" if isinstance(self.model, PrecisionDAG) else "<builder>"
+        )
+        cluster = (
+            self.cluster if isinstance(self.cluster, str) else self.cluster.name
+        )
+        return f"PlanRequest({self.strategy} | {model} on {cluster})"

@@ -1,0 +1,175 @@
+"""`PlanSession` — the front door of the Fig. 3 pipeline.
+
+A session owns the expensive artifacts of planning (operator cost
+catalogs, cast-cost fits, synthesized statistics, template DAGs, keyed by
+stable fingerprints in a :class:`ProfileStore`) and amortizes them across
+what-if queries: different protocols, collective models, and planner
+strategies on the same hardware re-profile nothing.
+
+::
+
+    session = PlanSession()
+    request = PlanRequest(model="vgg16", model_kwargs={"batch_size": 32},
+                          cluster="cluster_a_4+4")
+    outcome = session.plan(request)                 # profiles once
+    table = session.compare(request)                # all strategies, warm
+
+``prepare`` exposes the intermediate :class:`PlanContext` (replayer,
+backends, stats) for callers that drive the replayer directly — the
+experiment harnesses and the ground-truth comparisons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Mapping
+
+from repro.backend.lp_backend import LPBackend
+from repro.core.indicator import gamma_for_loss
+from repro.core.replayer import Replayer
+from repro.graph.dag import PrecisionDAG
+from repro.hardware.cluster import Cluster
+from repro.profiling.stats import OperatorStats
+from repro.session.outcome import PlanOutcome
+from repro.session.planners import available_strategies, get_planner
+from repro.session.profiles import ProfileStore, SessionStats, resolve_backends
+from repro.session.request import PlanRequest
+
+
+@dataclasses.dataclass
+class PlanContext:
+    """Everything a planner strategy needs, fully resolved.
+
+    Built fresh per query (per-rank DAGs are mutable search state), but
+    the expensive members — catalogs, cast models, stats — come from the
+    session's :class:`ProfileStore` when the fingerprints match.
+    """
+
+    request: PlanRequest
+    session: "PlanSession"
+    cluster: Cluster
+    template: PrecisionDAG
+    replayer: Replayer
+    backends: dict[int, LPBackend]
+    stats: Mapping[str, OperatorStats]
+    batch_size: int
+    gamma: float
+
+
+class PlanSession:
+    """Strategy-pluggable planning over a reusable profiling context.
+
+    Parameters
+    ----------
+    profile_seed:
+        Seed of the default per-rank :class:`LPBackend` measurement noise
+        (``0`` matches the legacy ``build_replayer`` default — keep it to
+        stay bit-identical with the historical entry points).
+    """
+
+    def __init__(self, profile_seed: int = 0) -> None:
+        self.profile_seed = profile_seed
+        self.profiles = ProfileStore()
+
+    @property
+    def stats(self) -> SessionStats:
+        """Reuse counters (``stats.profile_events`` must not grow on a warm
+        plan call over known device types)."""
+        return self.profiles.stats
+
+    # ------------------------------------------------------------------
+    def prepare(self, request: PlanRequest) -> PlanContext:
+        """Resolve a request into a ready-to-plan context.
+
+        Fresh per-rank DAGs and a fresh :class:`Replayer` every time (the
+        allocator mutates them); per-device-type catalogs and cast models
+        from the store whenever their fingerprints have been seen.
+        """
+        self.profiles.stats.prepare_calls += 1
+        cluster = request.resolve_cluster()
+        template = self.profiles.template_for(
+            request.model_cache_key(), request.build_template
+        )
+        builder: Callable[[], PrecisionDAG] = template.copy
+        backends = resolve_backends(
+            cluster, request.backends, seed=self.profile_seed
+        )
+
+        dags = {w.rank: builder() for w in cluster.workers}
+        by_type_catalog: dict[str, object] = {}
+        by_type_cast: dict[str, object] = {}
+        catalogs = {}
+        cast_calcs = {}
+        for w in cluster.workers:
+            tname = w.device.name
+            if tname not in by_type_catalog:
+                backend = backends[w.rank]
+                by_type_catalog[tname] = self.profiles.catalog_for(
+                    dags[w.rank], w.device, backend, request.profile_repeats
+                )
+                by_type_cast[tname] = self.profiles.cast_calc_for(backend)
+            catalogs[w.rank] = by_type_catalog[tname]
+            cast_calcs[w.rank] = by_type_cast[tname]
+
+        replayer = Replayer(
+            cluster,
+            dags,
+            catalogs,
+            cast_calcs,
+            optimizer_slots=request.optimizer_slots,
+            collective_model=request.collective_model,
+        )
+
+        if request.batch_size is not None:
+            batch_size = request.batch_size
+        else:
+            batch_size = int(template.spec(template.root()).output_shape[0])
+        if request.stats is not None:
+            stats = request.stats
+        else:
+            stats = self.profiles.stats_for(template, request.seed)
+        gamma = gamma_for_loss(request.loss, batch_size)
+
+        return PlanContext(
+            request=request,
+            session=self,
+            cluster=cluster,
+            template=template,
+            replayer=replayer,
+            backends=backends,
+            stats=stats,
+            batch_size=batch_size,
+            gamma=gamma,
+        )
+
+    # ------------------------------------------------------------------
+    def plan(self, request: PlanRequest) -> PlanOutcome:
+        """Run one request through its strategy; returns the common
+        :class:`PlanOutcome` (plan + simulation + report)."""
+        planner = get_planner(request.strategy)  # fail before any work
+        check = getattr(planner, "check_request", None)
+        if check is not None:
+            check(request)
+        ctx = self.prepare(request)
+        self.profiles.stats.plan_calls += 1
+        return planner.plan(ctx)
+
+    def compare(
+        self,
+        request: PlanRequest,
+        strategies: Iterable[str] | None = None,
+    ) -> dict[str, PlanOutcome]:
+        """Run ``request`` under several strategies on this session's warm
+        artifacts; returns ``{strategy: outcome}`` in deterministic order
+        (the given order, or the registry's canonical order)."""
+        names = (
+            available_strategies() if strategies is None else tuple(strategies)
+        )
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate strategies in {names!r}")
+        for name in names:
+            get_planner(name)  # validate all before running any
+        return {
+            name: self.plan(dataclasses.replace(request, strategy=name))
+            for name in names
+        }

@@ -1,0 +1,40 @@
+"""Tier-1 smoke invocation of the session reuse benchmark.
+
+Runs ``benchmarks.bench_session`` in its scaled-down mode so profiling-
+reuse regressions (a warm session silently re-profiling, or reuse changing
+results) fail loudly in the normal test run.  The full-size benchmark
+(``python -m benchmarks.bench_session``) reports the headline numbers to
+``BENCH_session.json``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_session import run_bench
+
+
+def test_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_session.json"
+    payload = run_bench(small=True, path=out)
+    assert out.exists()
+
+    # Zero catalog profilings / cast-model fits on the warm session — the
+    # deterministic core of the reuse claim.
+    assert payload["profile_events_cold"] > 0
+    assert payload["profile_events_warm"] == 0
+    assert payload["compare"]["profile_events"] == 0
+
+    # Reuse must not change results: warm what-if == cold single-shot.
+    assert payload["warm_matches_cold"]
+
+    # The headline: the second plan call on a shared session is >= 3x
+    # faster than the cold first call (measured ~20-30x; 3x leaves room
+    # for CI noise, and the counters above pin the mechanism).
+    assert payload["speedup_second_call"] >= 3.0
+
+    # All five strategies flowed through the warm compare call.
+    assert set(payload["compare"]["iteration_ms"]) == {
+        "qsync", "uniform", "dpro", "hessian", "random",
+    }

@@ -1,0 +1,235 @@
+"""Tests for the PlanSession API: requests, registry, reuse, compare."""
+
+import pytest
+
+from repro.backend import LPBackend
+from repro.core.plan import PrecisionPlan
+from repro.core.qsync import QSyncReport, build_replayer
+from repro.core.replayer import SimulationResult
+from repro.hardware import T4, V100, make_cluster_a
+from repro.models import mini_model_graph
+from repro.session import (
+    PlanOutcome,
+    PlanRequest,
+    PlanSession,
+    available_model_names,
+    available_strategies,
+    get_planner,
+)
+
+ALL_STRATEGIES = ("qsync", "uniform", "dpro", "hessian", "random")
+
+
+def tiny_request(**overrides):
+    defaults = dict(
+        model="mini_vgg",
+        model_kwargs={"batch_size": 4},
+        cluster=make_cluster_a(1, 1),
+        strategy="uniform",
+        profile_repeats=1,
+    )
+    defaults.update(overrides)
+    return PlanRequest(**defaults)
+
+
+class TestRegistry:
+    def test_all_baseline_strategies_registered(self):
+        assert set(available_strategies()) == set(ALL_STRATEGIES)
+
+    def test_registration_order_is_canonical(self):
+        assert available_strategies() == ALL_STRATEGIES
+
+    def test_unknown_strategy_raises_listing_available(self):
+        with pytest.raises(ValueError, match="uniform"):
+            get_planner("nope")
+        with pytest.raises(ValueError, match="qsync"):
+            PlanSession().plan(tiny_request(strategy="annealing"))
+
+    def test_unknown_strategy_fails_before_any_profiling(self):
+        session = PlanSession()
+        with pytest.raises(ValueError):
+            session.plan(tiny_request(strategy="annealing"))
+        assert session.stats.profile_events == 0
+
+
+class TestRequestValidation:
+    def test_unknown_model_lists_available(self):
+        with pytest.raises(ValueError, match="mini_bert"):
+            PlanSession().prepare(tiny_request(model="resnet9000"))
+
+    def test_unknown_cluster_preset(self):
+        with pytest.raises(ValueError, match="cluster_a_4\\+4"):
+            tiny_request(cluster="cluster_z")
+
+    def test_unknown_indicator_name(self):
+        with pytest.raises(ValueError, match="variance"):
+            tiny_request(indicator="entropy")
+
+    def test_profile_repeats_must_be_positive(self):
+        with pytest.raises(ValueError, match="profile_repeats"):
+            tiny_request(profile_repeats=0)
+
+    def test_unknown_loss_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="loss"):
+            tiny_request(loss="mae")
+
+    def test_unknown_collective_model_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="hierarchical"):
+            tiny_request(collective_model="ringg")
+
+    def test_pinned_strategy_rejects_conflicting_indicator(self):
+        session = PlanSession()
+        with pytest.raises(ValueError, match="pins indicator"):
+            session.plan(tiny_request(strategy="random", indicator="variance"))
+        assert session.stats.profile_events == 0  # failed before profiling
+        # The matching indicator (and None) are fine.
+        session.plan(tiny_request(strategy="random", indicator="random"))
+
+    def test_model_names_cover_catalog_and_minis(self):
+        names = available_model_names()
+        assert "vgg16" in names and "mini_bert" in names
+
+    def test_model_forms_agree(self):
+        """Name, builder, and DAG-instance model specs plan identically."""
+        session = PlanSession()
+        by_name = session.plan(tiny_request())
+        builder = lambda: mini_model_graph("mini_vgg", batch_size=4)
+        by_builder = session.plan(tiny_request(model=builder, model_kwargs={}))
+        by_dag = session.plan(tiny_request(model=builder(), model_kwargs={}))
+        assert by_name.simulation == by_builder.simulation == by_dag.simulation
+        assert by_name.plan == by_builder.plan == by_dag.plan
+
+    def test_cluster_preset_by_name(self):
+        request = tiny_request(cluster="cluster_a_4+4")
+        ctx = PlanSession().prepare(request)
+        assert ctx.cluster.size == 8
+
+    def test_partial_backends_fill_and_validate(self):
+        cluster = make_cluster_a(1, 1)
+        # Rank 0 override only: missing ranks get defaults.
+        ctx = PlanSession().prepare(
+            tiny_request(cluster=cluster, backends={0: LPBackend(V100, seed=0)})
+        )
+        assert sorted(ctx.backends) == [0, 1]
+        # Wrong device for the rank: loud error, not a wrong catalog.
+        with pytest.raises(ValueError, match="V100"):
+            PlanSession().prepare(
+                tiny_request(cluster=cluster, backends={0: LPBackend(T4, seed=0)})
+            )
+        # Stray rank: loud error, not a silent ignore.
+        with pytest.raises(ValueError, match="ranks"):
+            PlanSession().prepare(
+                tiny_request(cluster=cluster, backends={7: LPBackend(T4, seed=0)})
+            )
+
+    def test_legacy_build_replayer_accepts_partial_backends(self):
+        cluster = make_cluster_a(1, 1)
+        builder = lambda: mini_model_graph("mini_vgg", batch_size=4)
+        replayer, backends = build_replayer(
+            builder, cluster, backends={0: LPBackend(V100, seed=0)},
+            profile_repeats=1,
+        )
+        assert sorted(backends) == [0, 1]
+        assert backends[1].device.name == "T4"
+        assert replayer.simulate().iteration_time > 0
+
+
+class TestProfilingReuse:
+    def test_second_plan_profiles_nothing(self):
+        session = PlanSession()
+        session.plan(tiny_request())
+        cold = session.stats.profile_events
+        assert cold > 0
+        session.plan(tiny_request(strategy="dpro"))
+        session.plan(tiny_request(collective_model="hierarchical"))
+        assert session.stats.profile_events == cold
+
+    def test_profiler_not_invoked_on_warm_session(self, monkeypatch):
+        session = PlanSession()
+        session.plan(tiny_request())
+
+        def boom(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("warm session re-profiled a catalog")
+
+        monkeypatch.setattr(
+            "repro.session.profiles.profile_operator_costs", boom
+        )
+        monkeypatch.setattr(
+            "repro.session.profiles.CastCostCalculator", boom
+        )
+        outcome = session.plan(tiny_request(strategy="dpro"))
+        assert outcome.simulation.iteration_time > 0
+
+    def test_different_repeats_reprofile(self):
+        session = PlanSession()
+        session.plan(tiny_request(profile_repeats=1))
+        cold = session.stats.catalog_profiles
+        session.plan(tiny_request(profile_repeats=2))
+        assert session.stats.catalog_profiles > cold
+
+    def test_template_and_stats_cached_for_named_models(self):
+        session = PlanSession()
+        session.plan(tiny_request(strategy="qsync"))
+        session.plan(tiny_request(strategy="random"))
+        assert session.stats.template_builds == 1
+        assert session.stats.template_hits >= 1
+        assert session.stats.stats_syntheses == 1
+
+    def test_reuse_is_invisible_in_results(self):
+        warm_session = PlanSession()
+        warm_session.plan(tiny_request())
+        warm = warm_session.plan(tiny_request(strategy="dpro"))
+        cold = PlanSession().plan(tiny_request(strategy="dpro"))
+        assert warm.simulation == cold.simulation
+        assert warm.plan == cold.plan
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        session = PlanSession()
+        return session, session.compare(tiny_request())
+
+    def test_all_strategies_present_in_canonical_order(self, comparison):
+        _, table = comparison
+        assert tuple(table) == ALL_STRATEGIES
+
+    def test_common_outcome_shape(self, comparison):
+        _, table = comparison
+        for name, outcome in table.items():
+            assert isinstance(outcome, PlanOutcome)
+            assert outcome.strategy == name
+            assert isinstance(outcome.plan, PrecisionPlan)
+            assert isinstance(outcome.simulation, SimulationResult)
+            assert isinstance(outcome.report, QSyncReport)
+            assert outcome.simulation.iteration_time > 0
+            assert name in outcome.summary() or outcome.summary()
+
+    def test_ordering_deterministic_across_sessions(self, comparison):
+        _, table = comparison
+        again = PlanSession().compare(tiny_request())
+        assert list(again) == list(table)
+
+    def test_explicit_subset_preserves_given_order(self):
+        table = PlanSession().compare(
+            tiny_request(), strategies=("dpro", "uniform")
+        )
+        assert list(table) == ["dpro", "uniform"]
+
+    def test_duplicate_strategies_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PlanSession().compare(
+                tiny_request(), strategies=("dpro", "dpro")
+            )
+
+    def test_unknown_strategy_validated_before_running_any(self):
+        session = PlanSession()
+        with pytest.raises(ValueError, match="unknown planner"):
+            session.compare(tiny_request(), strategies=("uniform", "nope"))
+        assert session.stats.plan_calls == 0
+
+    def test_compare_profiles_once(self):
+        session = PlanSession()
+        session.compare(tiny_request(), strategies=("uniform", "dpro", "random"))
+        assert session.stats.catalog_profiles == 2  # one per device type
+        assert session.stats.cast_fits == 2
