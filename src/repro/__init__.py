@@ -20,6 +20,8 @@ Package map (bottom-up):
                        dequantization fusion, security wrapper
 ``repro.core``         the paper's contribution — Predictor (Indicator +
                        Replayer/Cost-Mapper/Simulator) and Allocator
+``repro.engine``       discrete-event execution engine: schedule policies,
+                       straggler perturbations, unified node-cost sources
 ``repro.session``      the front door: declarative ``PlanRequest``s,
                        profiling-reusing ``PlanSession``, pluggable planner
                        strategies (qsync/uniform/dpro/hessian/random)
@@ -56,6 +58,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Precision",
+    "Perturbation",
     "PlanOutcome",
     "PlanRequest",
     "PlanSession",
@@ -77,7 +80,7 @@ def qsync_plan(*args, **kwargs):
 
 def __getattr__(name: str):
     """Lazy session API exports (PEP 562) — same cheap-import rationale."""
-    if name in ("PlanSession", "PlanRequest", "PlanOutcome"):
+    if name in ("PlanSession", "PlanRequest", "PlanOutcome", "Perturbation"):
         import repro.session as _session
 
         return getattr(_session, name)

@@ -10,14 +10,18 @@ dependency" (Sec. VII-A2).  Concretely, this replayer:
 * keeps the same communication model (Dpro does model collectives well).
 
 The gap to ground truth is therefore exactly the casting + cascade share of
-the iteration, which is what Table III isolates.
+the iteration, which is what Table III isolates.  The pricing model lives
+in :class:`repro.engine.costs.CastingBlindCostSource`; assembly and
+execution go through the same shared paths as the Replayer and the
+ground-truth simulator.
 """
 
 from __future__ import annotations
 
-from repro.common.dtypes import Precision
-from repro.core.dfg import DFGNode, GlobalDFG, LocalDFG, NodeKind, assign_buckets
-from repro.core.replayer import SimulationResult, simulate_global_dfg
+from repro.core.dfg import GlobalDFG, LocalDFG
+from repro.core.replayer import SimulationResult
+from repro.engine.core import execute_global_dfg
+from repro.engine.costs import CastingBlindCostSource, assemble_local_dfg
 from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import Cluster
 from repro.profiling.profiler import OperatorCostCatalog
@@ -32,67 +36,29 @@ class DproReplayer:
         dags: dict[int, PrecisionDAG],
         catalogs: dict[int, OperatorCostCatalog],
         collective_model=None,
+        schedule_policy=None,
     ) -> None:
         self.cluster = cluster
         self.dags = dags
         self.catalogs = catalogs
         # Dpro models collectives well — share the Replayer's cost model.
         self.collective_model = collective_model
+        self.schedule_policy = schedule_policy
+        self._workers_by_rank = {w.rank: w for w in cluster.workers}
 
     def _build_local(self, rank: int) -> LocalDFG:
-        worker = self.cluster.workers[rank]
-        dag = self.dags[rank]
-        catalog = self.catalogs[rank]
-        dfg = LocalDFG(worker.device.name, rank)
-        topo = dag.topo_order()
-
-        def pure(op: str, prec: Precision):
-            if catalog.has(op, prec):
-                return catalog.get(op, prec)
-            return catalog.get(op, Precision.FP32)
-
-        for name in topo:
-            spec = dag.spec(name)
-            # No cascade: only the op's own assignment matters.
-            prec = dag.precision(name) if spec.is_adjustable else Precision.FP32
-            cost = pure(name, prec)
-            if cost.forward > 0:
-                dfg.add_forward(DFGNode(name, NodeKind.FORWARD, cost.forward, op=name))
-
-        weighted_rev = []
-        for name in reversed(topo):
-            spec = dag.spec(name)
-            prec = dag.precision(name) if spec.is_adjustable else Precision.FP32
-            cost = pure(name, prec)
-            if cost.backward > 0:
-                dfg.add_backward(
-                    DFGNode(f"bwd:{name}", NodeKind.BACKWARD, cost.backward, op=name)
-                )
-            if spec.has_weight:
-                weighted_rev.append((name, spec.weight_elems * 4))
-
-        buckets = assign_buckets(weighted_rev)
-        op_to_idx = {
-            n.op: i for i, n in enumerate(dfg.backward) if n.kind is NodeKind.BACKWARD
-        }
-        ready = {
-            b.index: max(
-                (op_to_idx.get(op, len(dfg.backward) - 1) for op in b.ops),
-                default=len(dfg.backward) - 1,
-            )
-            for b in buckets
-        }
-        dfg.set_buckets(buckets, ready)
-
-        elems = dag.total_weight_elems()
-        dfg.set_optimizer(
-            5.0 * elems * 4 / worker.device.effective_bandwidth
-            + worker.device.kernel_launch_overhead
+        # Rank is an identity, not a list position — index the worker map.
+        worker = self._workers_by_rank[rank]
+        source = CastingBlindCostSource(
+            self.dags[rank], self.catalogs[rank], worker.device
         )
-        return dfg
+        return assemble_local_dfg(source, worker.device.name, rank)
 
-    def simulate(self) -> SimulationResult:
+    def simulate(self, collect_timeline: bool = False) -> SimulationResult:
         gdfg = GlobalDFG([self._build_local(w.rank) for w in self.cluster.workers])
-        return simulate_global_dfg(
-            gdfg, self.cluster, collective_model=self.collective_model
+        return execute_global_dfg(
+            gdfg, self.cluster,
+            collect_timeline=collect_timeline,
+            collective_model=self.collective_model,
+            schedule_policy=self.schedule_policy,
         )

@@ -38,7 +38,6 @@ import heapq
 
 from repro.common.dtypes import Precision
 from repro.graph.dag import PrecisionDAG
-from repro.graph.ops import OpKind
 from repro.graph.propagation import (  # noqa: F401 - canonical re-export
     effective_precisions,
     grad_precision,
@@ -51,10 +50,100 @@ from repro.core.dfg import (
     LocalDFG,
     NodeKind,
     assign_buckets,
+    bucket_readiness_from_stream,
 )
+from repro.graph.ops import OpKind
 from repro.profiling.casting import CastCostCalculator
 from repro.profiling.memory import op_memory_contribution
 from repro.profiling.profiler import OperatorCostCatalog
+
+
+# ---------------------------------------------------------------------------
+# catalog pricing primitives — module-level so the engine's CatalogCostSource
+# (repro.engine.costs) and the incremental mapper below share one
+# implementation and can never drift apart.
+# ---------------------------------------------------------------------------
+
+
+def catalog_pure_cost(catalog: OperatorCostCatalog, op: str, precision: Precision):
+    """``CC_i`` lookup with pass-through fallback: dependent ops are
+    profiled only at FP16/FP32, and INT8-effective dependent ops execute
+    their FP16 kernel."""
+    if catalog.has(op, precision):
+        return catalog.get(op, precision)
+    if precision is Precision.INT8 and catalog.has(op, Precision.FP16):
+        return catalog.get(op, Precision.FP16)
+    return catalog.get(op, Precision.FP32)
+
+
+def catalog_forward_segment(
+    dag: PrecisionDAG,
+    catalog: OperatorCostCatalog,
+    cast_calc: CastCostCalculator,
+    name: str,
+    effective: dict[str, Precision],
+) -> list[DFGNode]:
+    """Forward nodes one op contributes: input casts (lines 6-10 of
+    Alg. 1), weight cast (lines 11-13), then the compute node."""
+    seg: list[DFGNode] = []
+    spec = dag.spec(name)
+    prec = effective[name]
+    for pred in dag.predecessors(name):
+        src_prec = output_precision(effective[pred])
+        if src_prec is not prec:
+            cost = cast_calc.predict(src_prec, prec, dag.spec(pred).output_elems)
+            if cost > 0:
+                seg.append(
+                    DFGNode(f"cast:{pred}->{name}", NodeKind.CAST, cost, op=name)
+                )
+    if spec.is_adjustable and spec.has_weight and prec is not Precision.FP32:
+        cost = cast_calc.predict(Precision.FP32, prec, spec.weight_elems)
+        if cost > 0:
+            seg.append(DFGNode(f"cast:w:{name}", NodeKind.CAST, cost, op=name))
+    fwd = catalog_pure_cost(catalog, name, prec).forward
+    if fwd > 0:
+        seg.append(DFGNode(name, NodeKind.FORWARD, fwd, op=name))
+    return seg
+
+
+def catalog_backward_segment(
+    dag: PrecisionDAG,
+    catalog: OperatorCostCatalog,
+    cast_calc: CastCostCalculator,
+    name: str,
+    effective: dict[str, Precision],
+) -> list[DFGNode]:
+    """Backward nodes one op contributes: gradient-format casts from
+    successors (lines 17-24; each successor hands back a gradient in its
+    own backward format), then the compute node."""
+    spec = dag.spec(name)
+    if spec.kind is OpKind.INPUT:
+        return []  # the graph input's gradient is never materialized
+    seg: list[DFGNode] = []
+    prec = effective[name]
+    my_grad = grad_precision(prec)
+    for succ in dag.successors(name):
+        succ_grad = grad_precision(effective[succ])
+        if succ_grad is not my_grad:
+            cost = cast_calc.predict(succ_grad, my_grad, spec.output_elems)
+            if cost > 0:
+                seg.append(
+                    DFGNode(f"cast:g:{succ}->{name}", NodeKind.CAST, cost, op=name)
+                )
+    bwd = catalog_pure_cost(catalog, name, prec).backward
+    if bwd > 0:
+        seg.append(DFGNode(f"bwd:{name}", NodeKind.BACKWARD, bwd, op=name))
+    return seg
+
+
+def optimizer_pass_seconds(total_weight_elems: int, device) -> float:
+    """Optimizer step: bandwidth-bound elementwise pass over all parameters
+    (read w, g, momentum; write w, momentum — 5 FP32 each)."""
+    return (
+        5.0 * total_weight_elems * Precision.FP32.nbytes
+        / device.effective_bandwidth
+        + device.kernel_launch_overhead
+    )
 
 
 class _MapperState:
@@ -164,46 +253,20 @@ class CostMapper:
     # ------------------------------------------------------------------
     def _pure_cost(self, op: str, precision: Precision):
         """CC_i lookup; dependent ops profiled only at FP16/FP32."""
-        if self.catalog.has(op, precision):
-            return self.catalog.get(op, precision)
-        # INT8-effective dependent ops execute their FP16 kernel.
-        if precision is Precision.INT8 and self.catalog.has(op, Precision.FP16):
-            return self.catalog.get(op, Precision.FP16)
-        return self.catalog.get(op, Precision.FP32)
+        return catalog_pure_cost(self.catalog, op, precision)
 
     # ------------------------------------------------------------------
-    # per-op segment derivation (shared by the full and delta paths)
+    # per-op segment derivation (shared by the full and delta paths, and
+    # with the engine's CatalogCostSource — one pricing implementation)
     # ------------------------------------------------------------------
     def _forward_segment(
         self, name: str, effective: dict[str, Precision]
     ) -> list[DFGNode]:
         """Forward nodes this op contributes: input casts (lines 6-10 of
         Alg. 1), weight cast (lines 11-13), then the compute node."""
-        seg: list[DFGNode] = []
-        spec = self.dag.spec(name)
-        prec = effective[name]
-        for pred in self.dag.predecessors(name):
-            src_prec = output_precision(effective[pred])
-            if src_prec is not prec:
-                cost = self.cast_calc.predict(
-                    src_prec, prec, self.dag.spec(pred).output_elems
-                )
-                if cost > 0:
-                    seg.append(
-                        DFGNode(
-                            f"cast:{pred}->{name}", NodeKind.CAST, cost, op=name
-                        )
-                    )
-        if spec.is_adjustable and spec.has_weight and prec is not Precision.FP32:
-            cost = self.cast_calc.predict(
-                Precision.FP32, prec, spec.weight_elems
-            )
-            if cost > 0:
-                seg.append(DFGNode(f"cast:w:{name}", NodeKind.CAST, cost, op=name))
-        fwd = self._pure_cost(name, prec).forward
-        if fwd > 0:
-            seg.append(DFGNode(name, NodeKind.FORWARD, fwd, op=name))
-        return seg
+        return catalog_forward_segment(
+            self.dag, self.catalog, self.cast_calc, name, effective
+        )
 
     def _backward_segment(
         self, name: str, effective: dict[str, Precision]
@@ -211,28 +274,9 @@ class CostMapper:
         """Backward nodes this op contributes: gradient-format casts from
         successors (lines 17-24; each successor hands back a gradient in its
         own backward format), then the compute node."""
-        spec = self.dag.spec(name)
-        if spec.kind is OpKind.INPUT:
-            return []  # the graph input's gradient is never materialized
-        seg: list[DFGNode] = []
-        prec = effective[name]
-        my_grad = grad_precision(prec)
-        for succ in self.dag.successors(name):
-            succ_grad = grad_precision(effective[succ])
-            if succ_grad is not my_grad:
-                cost = self.cast_calc.predict(
-                    succ_grad, my_grad, spec.output_elems
-                )
-                if cost > 0:
-                    seg.append(
-                        DFGNode(
-                            f"cast:g:{succ}->{name}", NodeKind.CAST, cost, op=name
-                        )
-                    )
-        bwd = self._pure_cost(name, prec).backward
-        if bwd > 0:
-            seg.append(DFGNode(f"bwd:{name}", NodeKind.BACKWARD, bwd, op=name))
-        return seg
+        return catalog_backward_segment(
+            self.dag, self.catalog, self.cast_calc, name, effective
+        )
 
     # ------------------------------------------------------------------
     # structure-only artifacts (independent of precisions)
@@ -266,12 +310,8 @@ class CostMapper:
         structure = self.dag.structure_version
         if self._opt_time_cache is None or self._opt_time_cache[0] != structure:
             total_weight_elems = self.dag.total_weight_elems()
-            opt_bytes = 5.0 * total_weight_elems * Precision.FP32.nbytes
             if self.device is not None:
-                opt_time = (
-                    opt_bytes / self.device.effective_bandwidth
-                    + self.device.kernel_launch_overhead
-                )
+                opt_time = optimizer_pass_seconds(total_weight_elems, self.device)
             else:
                 # Fall back to the fitted elementwise-pass slope: an
                 # FP32->FP16 cast streams 6 bytes/elem, the optimizer 20.
@@ -318,15 +358,10 @@ class CostMapper:
                     base + pos if pos is not None else base + len(seg) - 1
                 )
         dfg.load_streams(forward, backward, fwd_total, bwd_total)
-        last = len(backward) - 1
         buckets = self._buckets()
-        ready_after = {
-            bucket.index: max(
-                (anchors.get(op, last) for op in bucket.ops), default=last
-            )
-            for bucket in buckets
-        }
-        dfg.set_buckets(buckets, ready_after)
+        dfg.set_buckets(
+            buckets, bucket_readiness_from_stream(backward, buckets, anchors)
+        )
         dfg.set_optimizer(self._optimizer_time())
         state.dfg = dfg
         state.dfg_key = (device_name, rank)

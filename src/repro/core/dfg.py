@@ -206,6 +206,33 @@ class GlobalDFG:
         return len(self.locals[0].buckets)
 
 
+def bucket_readiness_from_stream(
+    backward: list[DFGNode],
+    buckets: list[CommBucket],
+    anchors: dict[str, int],
+) -> dict[int, int]:
+    """Readiness indices for :meth:`LocalDFG.set_buckets` from per-op anchors.
+
+    ``anchors`` maps each weighted op to the index of the backward-stream
+    node after which its gradient exists: its own BACKWARD node, or — when
+    its backward cost rounds to zero — the nearest *preceding* node (index
+    -1 = ready at forward end), never the pessimistic end of the stream.
+    A bucket is ready after the latest anchor among its ops; ops missing
+    from ``anchors`` defensively defer to the end of the stream.
+
+    The single readiness rule shared by every DFG builder (the Cost
+    Mapper's assembler and :func:`repro.engine.costs.assemble_local_dfg`),
+    so the anchoring semantics PR 1 fixed cannot diverge again.
+    """
+    last = len(backward) - 1
+    return {
+        bucket.index: max(
+            (anchors.get(op, last) for op in bucket.ops), default=last
+        )
+        for bucket in buckets
+    }
+
+
 def assign_buckets(
     weighted_ops_reverse: list[tuple[str, int]],
     bucket_cap_bytes: int = 25 * MB,

@@ -22,6 +22,8 @@ import dataclasses
 from repro.common.dtypes import Precision
 from repro.core.cost_mapper import CostMapper
 from repro.core.dfg import GlobalDFG, LocalDFG
+from repro.engine.perturbation import Perturbation
+from repro.engine.policy import SchedulePolicy, resolve_schedule_policy
 from repro.hardware.cluster import Cluster
 from repro.parallel.comm_model import CollectiveModel, resolve_collective_model
 from repro.profiling.casting import CastCostCalculator
@@ -88,6 +90,14 @@ class Replayer:
         All-reduce cost model (name, instance, or ``None`` for the flat-ring
         default — the legacy single-bottleneck ring, bit-identical to the
         pre-topology Replayer).
+    schedule_policy:
+        Execution schedule (name, instance, or ``None`` for the DDP-overlap
+        default — the Eq. (6) semantics, bit-identical to the analytic
+        path).  Non-default policies run through the discrete-event engine.
+    perturbation:
+        Optional deterministic straggler/bandwidth-drift injection
+        (:class:`repro.engine.Perturbation`); also routed through the
+        engine.
     """
 
     def __init__(
@@ -100,9 +110,13 @@ class Replayer:
         bucket_cap_bytes: int = 25 * 1024**2,
         incremental: bool = True,
         collective_model: CollectiveModel | str | None = None,
+        schedule_policy: SchedulePolicy | str | None = None,
+        perturbation: Perturbation | None = None,
     ) -> None:
         self.cluster = cluster
         self.collective_model = resolve_collective_model(collective_model)
+        self.schedule_policy = resolve_schedule_policy(schedule_policy)
+        self.perturbation = perturbation
         self.dags = dags
         self.memory_model = MemoryModel(optimizer_slots=optimizer_slots)
         #: When False every simulate() rebuilds every rank's DFG and memory
@@ -186,17 +200,39 @@ class Replayer:
         return GlobalDFG([self.local_dfg(w.rank) for w in self.cluster.workers])
 
     # ------------------------------------------------------------------
-    def simulate(self, collect_timeline: bool = False) -> SimulationResult:
-        """Estimate one iteration's latency under current precisions."""
+    def simulate(
+        self,
+        collect_timeline: bool = False,
+        schedule_policy: SchedulePolicy | str | None = None,
+        perturbation: Perturbation | None = None,
+    ) -> SimulationResult:
+        """Estimate one iteration's latency under current precisions.
+
+        ``schedule_policy``/``perturbation`` override the instance defaults
+        for this call only.  The default DDP-overlap schedule without a
+        timeline stays on the analytic Eq. (6) fast path (the allocator hot
+        loop); timeline collection, alternative policies, and perturbations
+        run through the discrete-event engine — bit-identical on the
+        default policy.
+        """
         self.stats.simulate_calls += 1
         gdfg = self.build_global_dfg()
-        return simulate_global_dfg(
+        memory = {
+            w.rank: self.memory_estimate(w.rank) for w in self.cluster.workers
+        }
+        policy = (
+            self.schedule_policy
+            if schedule_policy is None
+            else resolve_schedule_policy(schedule_policy)
+        )
+        pert = self.perturbation if perturbation is None else perturbation
+        # One dispatcher owns the analytic-vs-engine choice.
+        from repro.engine.core import execute_global_dfg
+
+        return execute_global_dfg(
             gdfg, self.cluster, collect_timeline=collect_timeline,
-            memory={
-                w.rank: self.memory_estimate(w.rank)
-                for w in self.cluster.workers
-            },
-            collective_model=self.collective_model,
+            memory=memory, collective_model=self.collective_model,
+            schedule_policy=policy, perturbation=pert,
         )
 
     def memory_estimate(self, rank: int) -> MemoryEstimate:
@@ -234,6 +270,28 @@ class Replayer:
         return est
 
 
+def bucket_comm_durations(
+    locals_: list[LocalDFG],
+    cluster: Cluster,
+    comm_model: CollectiveModel,
+) -> list[float]:
+    """Per-bucket collective durations, priced once per distinct size.
+
+    In synchronous data parallelism every rank's bucket ``n`` holds the
+    same gradients, so the historical per-rank re-pricing of an identical
+    collective was pure waste; one call per distinct byte count yields the
+    same max bit-for-bit.  Shared by the analytic Eq. (6) path and the
+    discrete-event engine's COMM events so their pricing cannot drift.
+    """
+    durations: list[float] = []
+    for n in range(len(locals_[0].buckets)):
+        sizes = {ldfg.buckets[n].nbytes for ldfg in locals_}
+        durations.append(
+            max(comm_model.allreduce_time(cluster, nbytes) for nbytes in sizes)
+        )
+    return durations
+
+
 def simulate_global_dfg(
     gdfg: GlobalDFG,
     cluster: Cluster,
@@ -241,7 +299,7 @@ def simulate_global_dfg(
     memory: dict[int, MemoryEstimate] | None = None,
     collective_model: CollectiveModel | str | None = None,
 ) -> SimulationResult:
-    """Play a global DFG through Eq. (6).
+    """Play a global DFG through Eq. (6) — the analytic closed form.
 
     Separated from :class:`Replayer` so the ground-truth simulator can reuse
     the identical synchronization semantics with its own (noisy) node
@@ -249,6 +307,11 @@ def simulate_global_dfg(
     about divergent schedulers.  ``collective_model`` prices each bucket's
     all-reduce; the default flat ring reproduces
     :meth:`Cluster.allreduce_time` bit-for-bit.
+
+    This closed form is also the parity oracle for the discrete-event
+    engine (:mod:`repro.engine`): under the default
+    :class:`~repro.engine.policy.DDPOverlapPolicy` with no perturbation the
+    engine must reproduce it bit-for-bit, timeline included.
     """
     comm_model = resolve_collective_model(collective_model)
     locals_ = gdfg.locals
@@ -263,18 +326,15 @@ def simulate_global_dfg(
         if collect_timeline:
             _emit_stream_timeline(ldfg, timeline)
 
-    # Synchronous collectives: Eq. (6).
+    # Synchronous collectives: Eq. (6).  Pricing is hoisted out of the
+    # recurrence — one call per bucket, not one per (bucket, rank).
+    durations = bucket_comm_durations(locals_, cluster, comm_model)
     comm_end_prev = 0.0
     comm_end_final: float = 0.0
     for n in range(gdfg.n_buckets):
         start_candidates = [ready_times[l.rank][n] for l in locals_]
         comm_start = max(max(start_candidates), comm_end_prev)
-        durations = [
-            comm_model.allreduce_time(cluster, l.buckets[n].nbytes)
-            for l in locals_
-        ]
-        comm_dur = max(durations)
-        comm_end = comm_start + comm_dur
+        comm_end = comm_start + durations[n]
         if collect_timeline:
             for ldfg in locals_:
                 timeline.append(

@@ -2,9 +2,9 @@
 
 The paper validates its Replayer against wall-clock measurements on real
 GPUs (Table III).  With no GPUs available, this module supplies the
-measurement side: a *finer-grained* discrete-event engine that shares the
-Eq. (6) synchronization semantics but differs from the Replayer in exactly
-the ways real hardware differs from a cost model:
+measurement side: a *finer-grained* simulation that shares the Eq. (6)
+synchronization semantics but differs from the Replayer in exactly the ways
+real hardware differs from a cost model:
 
 * every kernel's duration is an independently jittered backend *measurement*
   (the Replayer uses catalog means and fitted linear casts);
@@ -15,36 +15,25 @@ the ways real hardware differs from a cost model:
 
 Because the error between Replayer and ground truth arises from cost
 aggregation — not from scheduler divergence — Table III measures what the
-paper measured: the quality of the latency model.
+paper measured: the quality of the latency model.  The pricing model lives
+in :class:`repro.engine.costs.MeasuredCostSource`; this class feeds it
+through the shared assembly walk and the shared execution dispatcher, so
+the only degrees of freedom left are the costs themselves.
 """
 
 from __future__ import annotations
 
-import functools
-
-from repro.common.dtypes import Precision
 from repro.common.rng import derive_seed, new_rng
-from repro.core.cost_mapper import (
-    effective_precisions,
-    grad_precision,
-    output_precision,
-)
-from repro.core.dfg import DFGNode, GlobalDFG, LocalDFG, NodeKind, assign_buckets
-from repro.core.replayer import SimulationResult, simulate_global_dfg
+from repro.core.dfg import GlobalDFG, LocalDFG
+from repro.core.replayer import SimulationResult
 from repro.backend.lp_backend import LPBackend
 from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import Cluster
 
-
-@functools.lru_cache(maxsize=None)
-def _rep_offset(name: str) -> int:
-    """Per-op measurement-rep offset decorrelating cast samples between ops.
-
-    Derived from the op *name* via the seeded FNV mix — builtin ``hash`` is
-    salted per process, which made these "ground truth" measurements differ
-    from run to run (Table III was irreproducible).
-    """
-    return derive_seed(0, name) % 97
+# NOTE: repro.engine imports are function-scoped below — this module is
+# imported by repro.core's package __init__, which the engine package's own
+# imports re-enter; a module-level import here would read a partially
+# initialized repro.engine.costs.
 
 
 class GroundTruthSimulator:
@@ -68,6 +57,12 @@ class GroundTruthSimulator:
         All-reduce cost model (shared with the Replayer so Table III's
         comparison stays about compute-cost modelling, not about divergent
         collectives); ``None`` keeps the flat-ring default.
+    schedule_policy:
+        Execution schedule (``None`` = DDP overlap, the Eq. (6) default);
+        non-default policies run through the discrete-event engine.
+    perturbation:
+        Optional deterministic straggler/bandwidth-drift injection on top
+        of the measured jitter (:class:`repro.engine.Perturbation`).
     """
 
     def __init__(
@@ -78,6 +73,8 @@ class GroundTruthSimulator:
         comm_contention: float = 0.02,
         seed: int = 0,
         collective_model=None,
+        schedule_policy=None,
+        perturbation=None,
     ) -> None:
         self.cluster = cluster
         self.dags = dags
@@ -85,134 +82,45 @@ class GroundTruthSimulator:
         self.comm_contention = comm_contention
         self.seed = seed
         self.collective_model = collective_model
+        self.schedule_policy = schedule_policy
+        self.perturbation = perturbation
+        self._workers_by_rank = {w.rank: w for w in cluster.workers}
 
     # ------------------------------------------------------------------
     def _build_local(self, rank: int, iteration: int) -> LocalDFG:
-        worker = self.cluster.workers[rank]
-        dag = self.dags[rank]
-        backend = self.backends[rank]
-        rng = new_rng(derive_seed(self.seed, "gt", rank, iteration))
-        dfg = LocalDFG(worker.device.name, rank)
-        effective = effective_precisions(dag)
-        topo = dag.topo_order()
+        from repro.engine.costs import MeasuredCostSource, assemble_local_dfg
 
-        def jitter() -> float:
-            return float(1.0 + 0.02 * rng.standard_normal())
-
-        def launch_gap() -> float:
-            return float(max(rng.normal(2e-6, 1e-6), 0.0))
-
-        for name in topo:
-            spec = dag.spec(name)
-            prec = effective[name]
-            for pred in dag.predecessors(name):
-                src = output_precision(effective[pred])
-                if src is not prec:
-                    dur = backend.measure_cast(
-                        src, prec, dag.spec(pred).output_elems,
-                        rep=iteration * 131 + _rep_offset(name),
-                    )
-                    if dur > 0:
-                        dfg.add_forward(
-                            DFGNode(f"cast:{pred}->{name}", NodeKind.CAST,
-                                    dur * jitter() + launch_gap(), op=name)
-                        )
-            if spec.is_adjustable and spec.has_weight and prec is not Precision.FP32:
-                dur = backend.measure_cast(
-                    Precision.FP32, prec, spec.weight_elems, rep=iteration
-                )
-                if dur > 0:
-                    dfg.add_forward(
-                        DFGNode(f"cast:w:{name}", NodeKind.CAST,
-                                dur * jitter() + launch_gap(), op=name)
-                    )
-            exec_prec = self._kernel_precision(rank, name, prec)
-            input_elems = sum(
-                dag.spec(p).output_elems for p in dag.predecessors(name)
-            )
-            fwd = backend.measure_op_forward(spec, exec_prec, input_elems, rep=iteration)
-            if fwd > 0:
-                dfg.add_forward(
-                    DFGNode(name, NodeKind.FORWARD, fwd * jitter() + launch_gap(), op=name)
-                )
-
-        contention = 1.0 + self.comm_contention
-        weighted_rev: list[tuple[str, int]] = []
-        for name in reversed(topo):
-            spec = dag.spec(name)
-            if spec.kind.value == "input":
-                continue  # the graph input's gradient is never materialized
-            prec = effective[name]
-            my_grad = grad_precision(prec)
-            for succ in dag.successors(name):
-                succ_grad = grad_precision(effective[succ])
-                if succ_grad is not my_grad:
-                    dur = backend.measure_cast(
-                        succ_grad, my_grad, spec.output_elems, rep=iteration + 7
-                    )
-                    if dur > 0:
-                        dfg.add_backward(
-                            DFGNode(f"cast:g:{succ}->{name}", NodeKind.CAST,
-                                    dur * contention * jitter() + launch_gap(), op=name)
-                        )
-            exec_prec = self._kernel_precision(rank, name, prec)
-            input_elems = sum(
-                dag.spec(p).output_elems for p in dag.predecessors(name)
-            )
-            bwd = backend.measure_op_backward(spec, exec_prec, input_elems, rep=iteration)
-            if bwd > 0:
-                dfg.add_backward(
-                    DFGNode(f"bwd:{name}", NodeKind.BACKWARD,
-                            bwd * contention * jitter() + launch_gap(), op=name)
-                )
-            if spec.has_weight:
-                weighted_rev.append((name, spec.weight_elems * 4))
-
-        buckets = assign_buckets(weighted_rev)
-        op_to_idx = {
-            node.op: i for i, node in enumerate(dfg.backward)
-            if node.kind is NodeKind.BACKWARD
-        }
-        ready_after = {
-            b.index: max(
-                (op_to_idx.get(op, len(dfg.backward) - 1) for op in b.ops),
-                default=len(dfg.backward) - 1,
-            )
-            for b in buckets
-        }
-        dfg.set_buckets(buckets, ready_after)
-
-        total_elems = dag.total_weight_elems()
-        opt = (
-            5.0 * total_elems * 4 / worker.device.effective_bandwidth
-            + worker.device.kernel_launch_overhead
+        # Rank is an identity, not a list position — index the worker map,
+        # never ``cluster.workers[rank]``.
+        worker = self._workers_by_rank[rank]
+        source = MeasuredCostSource(
+            dag=self.dags[rank],
+            backend=self.backends[rank],
+            device=worker.device,
+            rng=new_rng(derive_seed(self.seed, "gt", rank, iteration)),
+            iteration=iteration,
+            comm_contention=self.comm_contention,
         )
-        dfg.set_optimizer(opt * jitter())
-        return dfg
-
-    def _kernel_precision(self, rank: int, name: str, prec: Precision) -> Precision:
-        """Dependent ops with INT8-effective inputs execute FP16 kernels."""
-        backend = self.backends[rank]
-        if not backend.device.supports(prec):
-            return Precision.FP16 if backend.device.supports(Precision.FP16) else Precision.FP32
-        spec = self.dags[rank].spec(name)
-        if prec is Precision.INT8 and not spec.is_adjustable:
-            return Precision.FP16
-        return prec
+        return assemble_local_dfg(source, worker.device.name, rank)
 
     # ------------------------------------------------------------------
     def run(self, iterations: int = 5, collect_timeline: bool = False) -> SimulationResult:
         """Average ``iterations`` measured iterations (the paper measures
         actual training iteration time and repeats 5x)."""
+        from repro.engine.core import execute_global_dfg
+
         total = 0.0
         last: SimulationResult | None = None
         for it in range(iterations):
             gdfg = GlobalDFG(
                 [self._build_local(w.rank, it) for w in self.cluster.workers]
             )
-            last = simulate_global_dfg(
-                gdfg, self.cluster, collect_timeline=collect_timeline and it == 0,
+            last = execute_global_dfg(
+                gdfg, self.cluster,
+                collect_timeline=collect_timeline and it == 0,
                 collective_model=self.collective_model,
+                schedule_policy=self.schedule_policy,
+                perturbation=self.perturbation,
             )
             total += last.iteration_time
         assert last is not None

@@ -31,7 +31,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: On-disk schema version; bump to invalidate every cached artifact at once.
 #: 2: PlanSession adoption — fig6's QSync leg now shares the UP leg's
 #: repeats=2 catalogs instead of re-profiling at the legacy default of 3.
-ARTIFACT_FORMAT = 2
+#: 3: shared DFG assembly — ground-truth/Dpro bucket readiness now anchors
+#: zero-backward-cost weighted ops to the nearest *preceding* backward node
+#: (the Cost Mapper rule) instead of the end of the stream, which can move
+#: Table III-family numbers.
+ARTIFACT_FORMAT = 3
 
 
 class ArtifactStore:

@@ -12,6 +12,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    straggler,
     table1,
     table2,
     table3,
@@ -31,6 +32,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7": fig7.run,
     "fig8": fig8.run,
     "comm": comm.run,
+    "straggler": straggler.run,
 }
 
 
@@ -151,6 +153,22 @@ SCENARIOS: dict[str, ScenarioAxes] = {
     # One cell per multi-node cluster preset: the preset name rides in the
     # variant kwargs, so each preset is an independent sweep axis whose
     # cached artifacts re-key when the preset list or graph config changes.
+    # Straggler/drift scenarios on the discrete-event engine: the factor
+    # ladder, policy list, and both protocols' graph kwargs are read from
+    # the experiment module itself, so edits re-key cached artifacts; the
+    # derived cell seed rides in (run takes a ``seed`` kwarg) because the
+    # perturbations consume it.
+    "straggler": ScenarioAxes(
+        cluster=straggler.CLUSTER_PRESET,
+        models=(straggler.MODEL_NAME,),
+        config=(
+            tuple(sorted(straggler.GRAPH_KW.items())),
+            tuple(sorted(straggler.QUICK_GRAPH_KW.items())),
+            straggler.FACTORS,
+            straggler.COMPUTE_JITTER,
+            straggler.BANDWIDTH_DRIFT,
+        ),
+    ),
     "comm": ScenarioAxes(
         cluster="multinode:" + "+".join(comm.PRESETS),
         quick=tuple(

@@ -66,9 +66,19 @@ class Cluster:
     topology: Topology | None = None
 
     def __post_init__(self) -> None:
+        # Ranks are identities, not list positions: gaps are legal (e.g. a
+        # sub-cluster view after a rank is decommissioned — the straggler
+        # scenarios' habitat), but duplicates and disorder are not.
         ranks = [w.rank for w in self.workers]
-        if ranks != list(range(len(ranks))):
-            raise ValueError(f"worker ranks must be 0..n-1, got {ranks}")
+        if (
+            len(set(ranks)) != len(ranks)
+            or any(r < 0 for r in ranks)
+            or ranks != sorted(ranks)
+        ):
+            raise ValueError(
+                f"worker ranks must be unique, non-negative, and ascending "
+                f"(gaps allowed), got {ranks}"
+            )
         if self.collective_latency <= 0:
             raise ValueError(
                 f"collective_latency must be > 0 seconds, got "
@@ -85,10 +95,10 @@ class Cluster:
             object.__setattr__(
                 self, "topology", Topology.flat(self.workers, self.collective_latency)
             )
-        elif self.topology.n_ranks != len(self.workers):
+        elif self.topology.rank_set() != {w.rank for w in self.workers}:
             raise ValueError(
-                f"topology covers {self.topology.n_ranks} ranks but the "
-                f"cluster has {len(self.workers)} workers"
+                f"topology covers ranks {sorted(self.topology.rank_set())} "
+                f"but the cluster has ranks {sorted(w.rank for w in self.workers)}"
             )
 
     # ------------------------------------------------------------------

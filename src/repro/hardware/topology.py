@@ -124,10 +124,13 @@ class Topology:
         if not self.nodes:
             raise ValueError("topology needs at least one node")
         all_ranks = [r for node in self.nodes for r in node.ranks]
-        if sorted(all_ranks) != list(range(len(all_ranks))):
+        # Nodes must partition a *set* of ranks — each rank hosted exactly
+        # once.  Which ranks exist is the cluster's business (ranks may be
+        # non-contiguous); the cluster constructor checks the sets match.
+        if len(set(all_ranks)) != len(all_ranks) or any(r < 0 for r in all_ranks):
             raise ValueError(
-                "topology nodes must partition ranks 0..n-1 exactly, got "
-                f"{sorted(all_ranks)}"
+                "topology nodes must partition the rank set (each rank "
+                f"hosted exactly once, non-negative), got {sorted(all_ranks)}"
             )
 
     # ------------------------------------------------------------------
@@ -138,6 +141,10 @@ class Topology:
     @property
     def n_ranks(self) -> int:
         return sum(node.size for node in self.nodes)
+
+    def rank_set(self) -> frozenset:
+        """All ranks hosted by this topology's nodes."""
+        return frozenset(r for node in self.nodes for r in node.ranks)
 
     @functools.cached_property
     def _node_by_rank(self) -> dict[int, NodeSpec]:

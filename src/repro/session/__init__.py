@@ -27,8 +27,10 @@ from repro.session.profiles import (
 )
 from repro.session.request import PlanRequest, available_model_names
 from repro.session.session import PlanContext, PlanSession
+from repro.engine import Perturbation
 
 __all__ = [
+    "Perturbation",
     "PlanContext",
     "PlanOutcome",
     "PlanRequest",

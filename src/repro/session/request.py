@@ -20,6 +20,8 @@ from typing import Any, Callable, Mapping, Union
 
 from repro.backend.lp_backend import LPBackend
 from repro.core.allocator import AllocatorConfig
+from repro.engine.perturbation import Perturbation
+from repro.engine.policy import SCHEDULE_POLICIES, SchedulePolicy
 from repro.graph.dag import PrecisionDAG
 from repro.core.indicator import gamma_for_loss
 from repro.hardware.cluster import CLUSTER_PRESETS, Cluster, get_cluster_preset
@@ -71,6 +73,14 @@ class PlanRequest:
     collective_model:
         All-reduce cost model name/instance; ``None`` keeps the flat-ring
         default (bit-identical to the pre-topology replayer).
+    schedule_policy:
+        Execution schedule name/instance for the discrete-event engine;
+        ``None`` keeps the DDP-overlap default (bit-identical to the
+        analytic Eq. (6) path).
+    perturbation:
+        Optional :class:`repro.engine.Perturbation` — deterministic,
+        seed-derived straggler/bandwidth-drift injection applied to every
+        simulation of this request.
     indicator:
         Indicator override for the allocator strategies: a name from
         :data:`INDICATOR_NAMES`, a legacy ``(dag, stats, gamma)`` factory,
@@ -99,6 +109,8 @@ class PlanRequest:
     batch_size: int | None = None
     optimizer_slots: int = 1
     collective_model: Union[CollectiveModel, str, None] = None
+    schedule_policy: Union[SchedulePolicy, str, None] = None
+    perturbation: Perturbation | None = None
     indicator: Union[str, Callable, None] = None
     config: AllocatorConfig | None = None
     seed: int = 0
@@ -121,6 +133,24 @@ class PlanRequest:
             raise ValueError(
                 f"unknown collective model {self.collective_model!r}; "
                 f"available: {sorted(COLLECTIVE_MODELS)}"
+            )
+        if isinstance(self.schedule_policy, str):
+            if self.schedule_policy not in SCHEDULE_POLICIES:
+                raise ValueError(
+                    f"unknown schedule policy {self.schedule_policy!r}; "
+                    f"available: {sorted(SCHEDULE_POLICIES)}"
+                )
+        elif not isinstance(self.schedule_policy, (SchedulePolicy, type(None))):
+            raise ValueError(
+                f"schedule_policy must be a name, a SchedulePolicy, or None, "
+                f"got {type(self.schedule_policy).__name__}"
+            )
+        if self.perturbation is not None and not isinstance(
+            self.perturbation, Perturbation
+        ):
+            raise ValueError(
+                f"perturbation must be a repro.engine.Perturbation or None, "
+                f"got {type(self.perturbation).__name__}"
             )
         if isinstance(self.indicator, str) and self.indicator not in INDICATOR_NAMES:
             raise ValueError(

@@ -118,6 +118,8 @@ class PlanSession:
             cast_calcs,
             optimizer_slots=request.optimizer_slots,
             collective_model=request.collective_model,
+            schedule_policy=request.schedule_policy,
+            perturbation=request.perturbation,
         )
 
         if request.batch_size is not None:

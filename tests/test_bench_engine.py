@@ -1,0 +1,45 @@
+"""Tier-1 smoke invocation of the discrete-event engine benchmark.
+
+Runs ``benchmarks.bench_engine`` on its reduced grid so engine regressions
+— bit-parity with the analytic Eq. (6) path broken, event-queue overhead
+past the 5x budget, a straggler run that stops tracking the slowest rank —
+fail loudly in the normal test run.  The full-size benchmark (``python -m
+benchmarks.bench_engine``) records the headline numbers to
+``BENCH_engine.json``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_engine import MAX_OVERHEAD, run_bench
+
+
+def test_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    payload = run_bench(small=True, path=out)
+
+    # Parity is the oracle: the engine under the default policy must be
+    # bit-identical to the analytic recurrence, timeline included.
+    assert payload["parity"]["bit_identical"]
+    assert payload["parity"]["timeline_events"] > 0
+
+    # The event queue may cost, but within budget.
+    assert payload["overhead"]["engine_vs_analytic"] <= MAX_OVERHEAD
+    assert payload["overhead"]["within_budget"]
+
+    # Straggler shape: iteration time equals the analytic recurrence on the
+    # perturbed DFGs and sits on the slowest rank's compute bound.
+    straggler = payload["straggler"]
+    assert straggler["matches_perturbed_analytic"]
+    assert straggler["tracks_slowest"]
+    assert straggler["iteration_seconds"] >= straggler["slowest_rank_bound_seconds"]
+
+    assert payload["ok"]
+
+    # The artifact is valid JSON on disk with the headline fields.
+    written = json.loads(out.read_text())
+    assert written["ok"] is True
+    assert written["parity"]["bit_identical"] is True

@@ -115,11 +115,18 @@ class TestCluster:
         expected += 2 * (k - 1) * c.collective_latency
         assert c.allreduce_time(nbytes) == pytest.approx(expected)
 
-    def test_ranks_must_be_contiguous(self):
+    def test_ranks_may_be_non_contiguous_but_not_duplicated(self):
         w0 = Worker(rank=0, device=V100, link_bandwidth=1e9)
         w2 = Worker(rank=2, device=T4, link_bandwidth=1e9)
-        with pytest.raises(ValueError):
-            Cluster(name="bad", workers=(w0, w2))
+        # Gaps are legal (a sub-cluster view after decommissioning rank 1)…
+        c = Cluster(name="gap", workers=(w0, w2))
+        assert [w.rank for w in c.workers] == [0, 2]
+        assert c.allreduce_time(1_000_000) > 0
+        # …duplicates and descending orders are not.
+        with pytest.raises(ValueError, match="ranks"):
+            Cluster(name="dup", workers=(w0, w0))
+        with pytest.raises(ValueError, match="ranks"):
+            Cluster(name="desc", workers=(w2, w0))
 
     def test_homogeneous_subsets(self):
         c = make_cluster_a(3, 2)

@@ -129,10 +129,20 @@ class TestScenarioGrid:
         assert len({c.seed for c in a}) == len(a)
         # A different base seed moves every cell seed, but must NOT re-key
         # seed-blind experiments — their results cannot change, so their
-        # cached artifacts must keep hitting.
+        # cached artifacts must keep hitting.  Seed-*aware* experiments
+        # (straggler consumes its cell seed for the perturbation draws)
+        # must re-key, because their results do change.
+        from repro.experiments.sweep import _experiment_accepts_seed
+
         c = ScenarioGrid(seed=1).cells()
         assert [x.seed for x in c] != [x.seed for x in a]
-        assert [x.fingerprint() for x in c] == [x.fingerprint() for x in a]
+        for old, new in zip(a, c):
+            if _experiment_accepts_seed(old.experiment_id):
+                assert new.fingerprint() != old.fingerprint()
+            else:
+                assert new.fingerprint() == old.fingerprint()
+        assert any(_experiment_accepts_seed(x.experiment_id) for x in a)
+        assert not all(_experiment_accepts_seed(x.experiment_id) for x in a)
 
     def test_seed_forwarded_and_fingerprinted_for_seed_aware_experiments(
         self, monkeypatch
