@@ -28,3 +28,15 @@ class KernelConfigError(ReproError):
 
 class InfeasiblePlanError(ReproError):
     """No precision assignment satisfies the constraints of problem (1)."""
+
+
+class QuorumLostError(ReproError):
+    """A cluster ``leave`` event dropped membership below the configured
+    quorum.
+
+    The graceful-degradation contract of the elastic-membership subsystem
+    (:mod:`repro.hardware.events`): any leave that keeps at least ``quorum``
+    workers re-plans and continues; one that does not raises this typed
+    error so callers can checkpoint/abort instead of silently training on a
+    cluster too small to be meaningful.
+    """

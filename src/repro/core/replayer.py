@@ -161,6 +161,57 @@ class Replayer:
         """Total delta DFG updates across all mappers."""
         return sum(m.incremental_updates for m in self.mappers.values())
 
+    def adopt_shared_state(self, other: "Replayer") -> int:
+        """Adopt another replayer's device-type-keyed caches where sound.
+
+        The elastic re-planning entry point: after a membership change, the
+        surviving ranks' device types have already built (and signed) their
+        DFGs in the pre-churn replayer — a fresh replayer over the new
+        cluster can serve those straight from ``other``'s per-type cache
+        instead of re-deriving them, making re-plan cost O(changed ranks).
+
+        Adoption is per device type and guarded on shared provenance: the
+        two replayers must map the type with the *same* catalog and cast
+        calculator objects and equal bucket caps, both in incremental mode.
+        A stale adopted entry is harmless — :meth:`local_dfg` only serves
+        it on an exact precision-signature + structure-fingerprint match,
+        and misses fall through to the cost mapper as usual.
+
+        Returns the number of device-type DFG entries adopted.
+        """
+        if not (self.incremental and other.incremental):
+            return 0
+        mine_by_type: dict[str, CostMapper] = {}
+        for mapper in self.mappers.values():
+            mine_by_type.setdefault(mapper.device.name, mapper)
+        theirs_by_type: dict[str, CostMapper] = {}
+        for mapper in other.mappers.values():
+            theirs_by_type.setdefault(mapper.device.name, mapper)
+        adopted = 0
+        for tname, entry in other._type_dfg_cache.items():
+            mine = mine_by_type.get(tname)
+            theirs = theirs_by_type.get(tname)
+            if mine is None or theirs is None:
+                continue
+            if (
+                mine.catalog is theirs.catalog
+                and mine.cast_calc is theirs.cast_calc
+                and mine.bucket_cap_bytes == theirs.bucket_cap_bytes
+            ):
+                self._type_dfg_cache[tname] = entry
+                adopted += 1
+        # Memory estimates are keyed on (structure fingerprint, precision
+        # signature) and device-independent, but scale with optimizer slots.
+        if (
+            self.memory_model.optimizer_slots
+            == other.memory_model.optimizer_slots
+        ):
+            merged = dict(other._mem_sig_cache)
+            merged.update(self._mem_sig_cache)
+            if len(merged) <= 8192:
+                self._mem_sig_cache = merged
+        return adopted
+
     # ------------------------------------------------------------------
     def local_dfg(self, rank: int) -> LocalDFG:
         """The rank's LocalDFG under its current precisions.

@@ -13,6 +13,9 @@ supplies the event-driven core underneath it:
   :class:`BlockingSyncPolicy` (no-overlap vanilla sync SGD);
 * :mod:`repro.engine.perturbation` — deterministic, seed-derived straggler
   and bandwidth-drift injection;
+* :mod:`repro.engine.segments` — epoch-segmented simulation across elastic
+  membership changes (:func:`simulate_with_churn`), each segment
+  incrementally re-planned on its surviving-rank cluster;
 * :mod:`repro.engine.costs` — the :class:`NodeCostSource` protocol
   (:class:`CatalogCostSource`, :class:`MeasuredCostSource`,
   :class:`CastingBlindCostSource`) and :func:`assemble_local_dfg`, the one
@@ -32,6 +35,11 @@ from repro.engine.costs import (
     optimizer_pass_seconds,
 )
 from repro.engine.perturbation import Perturbation
+from repro.engine.segments import (
+    EpochSegment,
+    SegmentedRun,
+    simulate_with_churn,
+)
 from repro.engine.policy import (
     SCHEDULE_POLICIES,
     BlockingSyncPolicy,
@@ -45,12 +53,15 @@ __all__ = [
     "CastingBlindCostSource",
     "CatalogCostSource",
     "DDPOverlapPolicy",
+    "EpochSegment",
     "MeasuredCostSource",
     "NodeCostSource",
     "Perturbation",
     "SCHEDULE_POLICIES",
     "SchedulePolicy",
+    "SegmentedRun",
     "assemble_local_dfg",
+    "simulate_with_churn",
     "catalog_backward_segment",
     "catalog_forward_segment",
     "catalog_pure_cost",

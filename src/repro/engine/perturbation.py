@@ -27,7 +27,8 @@ model unchanged.  The original DFGs are never mutated.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Mapping, Union
+import math
+from typing import TYPE_CHECKING, Iterable, Mapping, Union
 
 from repro.common.rng import derive_seed, new_rng
 
@@ -66,13 +67,15 @@ class Perturbation:
     stragglers: Union[Mapping[int, float], tuple] = ()
 
     def __post_init__(self) -> None:
-        if self.compute_jitter < 0:
+        if not math.isfinite(self.compute_jitter) or self.compute_jitter < 0:
             raise ValueError(
-                f"compute_jitter must be >= 0, got {self.compute_jitter}"
+                f"compute_jitter must be finite and >= 0, got "
+                f"{self.compute_jitter}"
             )
-        if self.bandwidth_drift < 0:
+        if not math.isfinite(self.bandwidth_drift) or self.bandwidth_drift < 0:
             raise ValueError(
-                f"bandwidth_drift must be >= 0, got {self.bandwidth_drift}"
+                f"bandwidth_drift must be finite and >= 0, got "
+                f"{self.bandwidth_drift}"
             )
         pairs = (
             tuple(sorted(self.stragglers.items()))
@@ -85,9 +88,14 @@ class Perturbation:
                 f"{[rank for rank, _ in pairs]}"
             )
         for rank, factor in pairs:
-            if factor <= 0:
+            if rank < 0:
                 raise ValueError(
-                    f"straggler factor for rank {rank} must be > 0, got {factor}"
+                    f"straggler rank must be >= 0, got {rank}"
+                )
+            if not math.isfinite(factor) or factor <= 0:
+                raise ValueError(
+                    f"straggler factor for rank {rank} must be finite and "
+                    f"> 0, got {factor}"
                 )
         object.__setattr__(self, "stragglers", pairs)
 
@@ -114,6 +122,21 @@ class Perturbation:
                 self.seed, "compute", rank
             )
         return scale
+
+    def with_degradations(
+        self, factors: Iterable[tuple[int, float]]
+    ) -> "Perturbation":
+        """A copy with extra per-rank slowdowns composed in.
+
+        ``degrade`` cluster events (:mod:`repro.hardware.events`) land here:
+        each ``(rank, factor)`` multiplies onto any existing straggler
+        factor for that rank, so mid-run degradations stack with a
+        scenario's baseline stragglers instead of replacing them.
+        """
+        merged = {rank: factor for rank, factor in self.stragglers}
+        for rank, factor in factors:
+            merged[rank] = merged.get(rank, 1.0) * factor
+        return dataclasses.replace(self, stragglers=merged)
 
     def comm_scale(self, bucket: int) -> float:
         """Collective duration multiplier for one bucket index."""

@@ -7,6 +7,7 @@ from typing import Any, Callable
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments import (
+    churn,
     comm,
     fig4,
     fig6,
@@ -33,6 +34,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig8.run,
     "comm": comm.run,
     "straggler": straggler.run,
+    "churn": churn.run,
 }
 
 
@@ -167,6 +169,29 @@ SCENARIOS: dict[str, ScenarioAxes] = {
             straggler.FACTORS,
             straggler.COMPUTE_JITTER,
             straggler.BANDWIDTH_DRIFT,
+        ),
+    ),
+    # Elastic-membership churn on the cloud-edge preset: one cell per trace
+    # (the trace name rides in the variant kwargs), with the quorum,
+    # iteration budgets, and both protocols' graph kwargs fingerprinted
+    # from the experiment module; the cell seed rides in (run takes a
+    # ``seed`` kwarg) because the trace generators consume it.
+    "churn": ScenarioAxes(
+        cluster=churn.CLUSTER_PRESET,
+        quick=tuple(
+            Variant(trace, (churn.MODEL_NAME,), (("traces", (trace,)),))
+            for trace in churn.TRACES
+        ),
+        full=tuple(
+            Variant(trace, (churn.MODEL_NAME,), (("traces", (trace,)),))
+            for trace in churn.TRACES
+        ),
+        config=(
+            tuple(sorted(churn.GRAPH_KW.items())),
+            tuple(sorted(churn.QUICK_GRAPH_KW.items())),
+            churn.ITERATIONS,
+            churn.FULL_ITERATIONS,
+            churn.QUORUM,
         ),
     ),
     "comm": ScenarioAxes(

@@ -367,16 +367,26 @@ class SweepRunner:
                 }
                 for future in concurrent.futures.as_completed(futures):
                     i = futures[future]
+                    retried_after = None
                     try:
                         executed = future.result()
                     except Exception as exc:  # noqa: BLE001
                         # A worker died *hard* (OOM kill, segfault) —
                         # _execute_cell only isolates Python exceptions.
-                        # Report the cell failed rather than losing the
-                        # whole sweep to a BrokenProcessPool.
-                        executed = (None, f"worker crashed: {exc!r}", 0.0)
+                        # Hard deaths are often environmental (a memory
+                        # spike, a killed container child), not the cell's
+                        # fault: retry the cell once serially in the parent
+                        # before recording a failure, and remember the
+                        # crash so the outcome discloses the retry.
+                        retried_after = f"worker crashed: {exc!r}"
+                        executed = _execute_cell(cells[i])
                     outcomes[i] = emit(
-                        self._finish(cells[i], fingerprints[i], executed)
+                        self._finish(
+                            cells[i],
+                            fingerprints[i],
+                            executed,
+                            retried_after=retried_after,
+                        )
                     )
         else:
             for i in pending:
@@ -393,9 +403,14 @@ class SweepRunner:
         cell: ScenarioCell,
         fingerprint: str,
         executed: tuple[dict[str, Any] | None, str | None, float],
+        retried_after: str | None = None,
     ) -> CellOutcome:
         payload, error, elapsed = executed
         if error is not None:
+            if retried_after is not None:
+                error = (
+                    f"{retried_after}\nserial retry also failed:\n{error}"
+                )
             return CellOutcome(cell, fingerprint, "failed", elapsed, error=error)
         # Serial and parallel runs both round-trip through the JSON payload,
         # so cached replays can never diverge from fresh computations.
@@ -403,6 +418,11 @@ class SweepRunner:
         artifact = None
         if self.use_cache:  # no-cache runs neither read nor write the store
             artifact = self.store.save(cell, payload, fingerprint)
+        if retried_after is not None:
+            # Disclose the recovery on the in-memory result only — after
+            # the store write, so retried and first-try artifacts stay
+            # byte-identical.
+            result.extras["sweep_retry"] = {"first_error": retried_after}
         return CellOutcome(
             cell, fingerprint, "computed", elapsed, result=result, artifact=artifact
         )

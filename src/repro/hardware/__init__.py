@@ -25,6 +25,13 @@ from repro.hardware.presets import (
     get_device,
 )
 from repro.hardware.topology import LinkSpec, NodeSpec, Topology
+from repro.hardware.events import (
+    EVENT_KINDS,
+    ClusterEvent,
+    MembershipDelta,
+    apply_events,
+    validate_events,
+)
 from repro.hardware.cluster import (
     CLUSTER_PRESETS,
     Cluster,
@@ -49,6 +56,11 @@ __all__ = [
     "LinkSpec",
     "NodeSpec",
     "Topology",
+    "EVENT_KINDS",
+    "ClusterEvent",
+    "MembershipDelta",
+    "apply_events",
+    "validate_events",
     "CLUSTER_PRESETS",
     "Cluster",
     "Worker",

@@ -26,7 +26,7 @@ from repro.session.profiles import (
     resolve_backends,
 )
 from repro.session.request import PlanRequest, available_model_names
-from repro.session.session import PlanContext, PlanSession
+from repro.session.session import PlanContext, PlanSession, ReplanOutcome
 from repro.engine import Perturbation
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "PlanRequest",
     "PlanSession",
     "Planner",
+    "ReplanOutcome",
     "ProfileStore",
     "SessionStats",
     "available_model_names",

@@ -34,6 +34,8 @@ class SessionStats:
 
     plan_calls: int = 0
     prepare_calls: int = 0
+    #: ``PlanSession.replan`` invocations (each also counts as a plan call).
+    replan_calls: int = 0
     #: From-scratch ``profile_operator_costs`` runs / cache hits.
     catalog_profiles: int = 0
     catalog_hits: int = 0

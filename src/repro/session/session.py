@@ -22,13 +22,15 @@ experiment harnesses and the ground-truth comparisons.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence, Union
 
 from repro.backend.lp_backend import LPBackend
 from repro.core.indicator import gamma_for_loss
 from repro.core.replayer import Replayer
+from repro.engine.perturbation import Perturbation
 from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import Cluster
+from repro.hardware.events import ClusterEvent, MembershipDelta, apply_events
 from repro.profiling.stats import OperatorStats
 from repro.session.outcome import PlanOutcome
 from repro.session.planners import available_strategies, get_planner
@@ -56,6 +58,34 @@ class PlanContext:
     gamma: float
 
 
+@dataclasses.dataclass
+class ReplanOutcome:
+    """Result of one incremental :meth:`PlanSession.replan` step.
+
+    Carries the new plan, the context it was planned in (chain it into the
+    next ``replan`` call as membership keeps changing), and the evidence of
+    incrementality: how many profiling events the re-plan paid for
+    (``0`` whenever every surviving device type was already profiled) and
+    how many device-type DFG cache entries were adopted from the pre-churn
+    replayer.
+    """
+
+    outcome: PlanOutcome
+    context: "PlanContext"
+    delta: MembershipDelta
+    events: tuple[ClusterEvent, ...]
+    new_profile_events: int
+    adopted_dfg_types: int
+
+    @property
+    def plan(self):
+        return self.outcome.plan
+
+    @property
+    def simulation(self):
+        return self.outcome.simulation
+
+
 class PlanSession:
     """Strategy-pluggable planning over a reusable profiling context.
 
@@ -70,6 +100,10 @@ class PlanSession:
     def __init__(self, profile_seed: int = 0) -> None:
         self.profile_seed = profile_seed
         self.profiles = ProfileStore()
+        #: The context of the most recent ``plan``/``replan`` call — the
+        #: natural first argument of :meth:`replan` for callers that used
+        #: the one-shot :meth:`plan` API.
+        self.last_context: PlanContext | None = None
 
     @property
     def stats(self) -> SessionStats:
@@ -154,7 +188,97 @@ class PlanSession:
             check(request)
         ctx = self.prepare(request)
         self.profiles.stats.plan_calls += 1
+        self.last_context = ctx
         return planner.plan(ctx)
+
+    # ------------------------------------------------------------------
+    def replan(
+        self,
+        ctx: Union[PlanContext, PlanRequest],
+        events: Sequence[ClusterEvent],
+        quorum: int = 1,
+    ) -> ReplanOutcome:
+        """Incrementally re-plan after cluster membership events.
+
+        Folds ``events`` into the context's cluster
+        (:func:`~repro.hardware.events.apply_events`), composes ``degrade``
+        events into the request's :class:`Perturbation`, and re-runs the
+        request's strategy on the surviving membership — against this
+        session's *warm* :class:`ProfileStore`, so already-profiled device
+        types cost zero new profiling events, and (when ``ctx`` is a
+        :class:`PlanContext`) with the pre-churn replayer's device-type DFG
+        caches adopted, so only the changed ranks' DFGs are re-derived.
+
+        With zero events the returned outcome is bit-identical to the
+        original ``plan()`` — the parity oracle pinned by
+        ``tests/test_bench_churn.py``.
+
+        Raises
+        ------
+        QuorumLostError
+            When a ``leave`` drops membership below ``quorum``.
+        ValueError
+            On an inconsistent event batch, before any work.
+        """
+        if isinstance(ctx, PlanContext):
+            request = ctx.request
+            cluster = ctx.cluster
+            old_replayer: Replayer | None = ctx.replayer
+        elif isinstance(ctx, PlanRequest):
+            request = ctx
+            cluster = ctx.resolve_cluster()
+            old_replayer = None
+        else:
+            raise ValueError(
+                f"ctx must be a PlanContext or PlanRequest, got "
+                f"{type(ctx).__name__}"
+            )
+        planner = get_planner(request.strategy)  # fail before any work
+        events = tuple(events)
+        new_cluster, delta = apply_events(cluster, events, quorum=quorum)
+
+        changes: dict = {}
+        if new_cluster is not cluster:
+            changes["cluster"] = new_cluster
+            if request.backends:
+                # Explicit backends for departed ranks would fail the
+                # stray-rank check; survivors keep theirs.
+                surviving_ranks = {w.rank for w in new_cluster.workers}
+                kept = {
+                    r: b
+                    for r, b in request.backends.items()
+                    if r in surviving_ranks
+                }
+                changes["backends"] = kept or None
+        if delta.degraded:
+            base = request.perturbation or Perturbation()
+            changes["perturbation"] = base.with_degradations(delta.degraded)
+        new_request = (
+            dataclasses.replace(request, **changes) if changes else request
+        )
+
+        check = getattr(planner, "check_request", None)
+        if check is not None:
+            check(new_request)
+        profile_before = self.profiles.stats.profile_events
+        new_ctx = self.prepare(new_request)
+        adopted = 0
+        if old_replayer is not None:
+            adopted = new_ctx.replayer.adopt_shared_state(old_replayer)
+        self.profiles.stats.plan_calls += 1
+        self.profiles.stats.replan_calls += 1
+        self.last_context = new_ctx
+        outcome = planner.plan(new_ctx)
+        return ReplanOutcome(
+            outcome=outcome,
+            context=new_ctx,
+            delta=delta,
+            events=events,
+            new_profile_events=(
+                self.profiles.stats.profile_events - profile_before
+            ),
+            adopted_dfg_types=adopted,
+        )
 
     def compare(
         self,

@@ -329,6 +329,67 @@ class TestSweepRunner:
         rerun = SweepRunner(store=store, jobs=jobs).run(cells)
         assert len(rerun.cached) == 2 and len(rerun.failed) == 1
 
+    def test_hard_worker_death_retried_serially(self, tmp_path, monkeypatch):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork start method to inherit fake experiment")
+
+        def _die_in_worker(quick=True):
+            import multiprocessing as mp
+            import os
+
+            if mp.parent_process() is not None:
+                # Hard death: bypass exception isolation entirely, as an
+                # OOM kill or segfault would.
+                os._exit(1)
+            return ExperimentResult("mortal", "t", ["h"], [["ok"]])
+
+        monkeypatch.setitem(EXPERIMENTS, "mortal", _die_in_worker)
+        monkeypatch.setitem(SCENARIOS, "mortal", ScenarioAxes(cluster="none"))
+        cells = ScenarioGrid(["mortal", "fig4"]).cells()
+        store = ArtifactStore(tmp_path)
+        report = SweepRunner(store=store, jobs=2).run(cells)
+        by_id = {o.cell_id: o for o in report.outcomes}
+        # The pool worker died hard, but the serial parent retry recovered
+        # the cell — and the outcome discloses the recovery.
+        outcome = by_id["mortal:quick"]
+        assert outcome.status == "computed"
+        assert outcome.result.rows == [["ok"]]
+        retry = outcome.result.extras["sweep_retry"]
+        assert "worker crashed" in retry["first_error"]
+        # The persisted artifact stays retry-free: serial and parallel
+        # sweeps must write byte-identical payloads.
+        payload = json.loads(outcome.artifact.read_text())
+        assert "sweep_retry" not in payload["result"].get("extras", {})
+
+    def test_hard_worker_death_double_failure_reports_both(
+        self, tmp_path, monkeypatch
+    ):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork start method to inherit fake experiment")
+
+        def _die_everywhere(quick=True):
+            import multiprocessing as mp
+            import os
+
+            if mp.parent_process() is not None:
+                os._exit(1)
+            raise RuntimeError("retry kaboom")
+
+        monkeypatch.setitem(EXPERIMENTS, "doomed", _die_everywhere)
+        monkeypatch.setitem(SCENARIOS, "doomed", ScenarioAxes(cluster="none"))
+        cells = ScenarioGrid(["doomed", "fig4"]).cells()
+        report = SweepRunner(store=ArtifactStore(tmp_path), jobs=2).run(cells)
+        by_id = {o.cell_id: o for o in report.outcomes}
+        outcome = by_id["doomed:quick"]
+        assert outcome.status == "failed"
+        assert "worker crashed" in outcome.error
+        assert "serial retry also failed" in outcome.error
+        assert "retry kaboom" in outcome.error
+
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError):
             SweepRunner(jobs=0)
