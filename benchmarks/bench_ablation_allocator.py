@@ -11,9 +11,9 @@ a plan that is at least as fast and strictly less quantized (or equal).
 
 from repro.common import Precision
 from repro.common.dtypes import lower_precision
+from repro.core.allocator import Allocator
 from repro.core.indicator import VarianceIndicator, gamma_for_loss
 from repro.core.qsync import build_replayer
-from repro.core.allocator import Allocator
 from repro.hardware import make_cluster_a
 from repro.models import mini_model_graph
 from repro.profiling import synthesize_stats

@@ -60,10 +60,13 @@ def _build_allocator(
     incremental: bool,
 ) -> Allocator:
     cluster = make_cluster_a(n_training, n_inference)
-    builder = lambda: mini_model_graph(
-        "mini_bert", batch_size=batch,
-        width_scale=width_scale, spatial_scale=spatial_scale,
-    )
+
+    def builder():
+        return mini_model_graph(
+            "mini_bert", batch_size=batch,
+            width_scale=width_scale, spatial_scale=spatial_scale,
+        )
+
     replayer, _ = build_replayer(builder, cluster, profile_repeats=profile_repeats)
     replayer.incremental = incremental
     indicators = {}

@@ -116,7 +116,8 @@ def run_bench(small: bool = False, path: str | Path = "BENCH_churn.json") -> dic
 
     # The headline: one edge rank leaves; the incremental replan races a
     # cold plan of the same surviving cluster on a fresh session.
-    leaving = cluster.workers[-1].rank
+    # Ranks are identities (possibly non-contiguous): select by rank value.
+    leaving = max(w.rank for w in cluster.workers)
     events = (ClusterEvent(time=1.0, kind="leave", rank=leaving),)
     replan_seconds, replanned = _best_of(
         lambda: session.replan(base_ctx, events)

@@ -96,17 +96,18 @@ def run_bench(small: bool = False, path: str | Path = "BENCH_engine.json") -> di
     overhead = engine_s / max(analytic_s, 1e-12)
 
     # ---- straggler shape -----------------------------------------------
-    straggler_rank = cluster.workers[-1].rank
+    # Ranks are identities (possibly non-contiguous): select by rank value.
+    straggler_rank = max(w.rank for w in cluster.workers)
     pert = Perturbation(seed=0, stragglers={straggler_rank: STRAGGLER_FACTOR})
     straggler = run_engine(gdfg, cluster, collective_model=comm_model,
                            perturbation=pert)
-    perturbed_locals = [pert.perturb_local(l) for l in gdfg.locals]
+    perturbed_locals = [pert.perturb_local(ld) for ld in gdfg.locals]
     # Oracle: the analytic recurrence replayed on the perturbed DFGs (no
     # bandwidth drift, so the collective pricing is untouched).
     oracle = simulate_global_dfg(
         GlobalDFG(perturbed_locals), cluster, collective_model=comm_model
     )
-    slowest_bound = max(l.compute_time for l in perturbed_locals)
+    slowest_bound = max(ld.compute_time for ld in perturbed_locals)
     comm_total = sum(
         comm_model.allreduce_time(cluster, b.nbytes)
         for b in perturbed_locals[0].buckets

@@ -1,0 +1,89 @@
+"""Invariant-linter benchmark: full-tree lint wall time and cleanliness.
+
+The linter runs on every future PR (tier-1 ``tests/test_lint_clean.py``),
+so it must stay cheap: parse + walk the whole enforced tree (``src`` and
+``examples``) well under a loose wall budget, find zero violations, and
+produce a byte-deterministic JSON report.
+
+Writes ``BENCH_lint.json``.  Standalone::
+
+    python -m benchmarks.bench_lint [--small] [output.json]
+
+The tier-1 smoke (``tests/test_bench_lint.py``) runs the scaled-down
+invocation so a rule that suddenly crawls (e.g. an accidentally quadratic
+visitor) or a contract violation that slipped past review fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The enforced tree: src is the contract surface, examples ride along
+#: (they are user-facing idiom and must model the sanctioned patterns).
+FULL_PATHS = ("src", "examples")
+SMALL_PATHS = ("src/repro/core", "src/repro/engine", "src/repro/analysis")
+
+#: Loose wall budget for the *full* tree — an AST walk of ~100 files
+#: should take well under a second; the budget leaves 30x headroom for
+#: slow CI boxes before the smoke complains.
+FULL_BUDGET_SECONDS = 30.0
+SMALL_BUDGET_SECONDS = 15.0
+
+
+def run_bench(small: bool = False, path: str | Path = "BENCH_lint.json") -> dict:
+    paths = SMALL_PATHS if small else FULL_PATHS
+    targets = [REPO / p for p in paths]
+
+    t0 = time.perf_counter()
+    report = lint_paths(targets, relative_to=REPO)
+    wall = time.perf_counter() - t0
+
+    # Determinism: a second run over the same tree must produce an
+    # identical JSON report (sorted findings, no timestamps).
+    second = lint_paths(targets, relative_to=REPO)
+    budget = SMALL_BUDGET_SECONDS if small else FULL_BUDGET_SECONDS
+
+    payload = {
+        "paths": list(paths),
+        "files": report.files,
+        "rules": list(report.rules),
+        "violations": len(report.violations),
+        "violation_lines": [v.formatted() for v in report.violations],
+        "report_deterministic": report.to_json() == second.to_json(),
+        "wall_seconds": wall,
+        "budget_seconds": budget,
+        "within_budget": wall < budget,
+        "files_per_second": report.files / wall if wall > 0 else float("inf"),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return payload
+
+
+def main(argv: list[str]) -> int:
+    small = "--small" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    out = paths[0] if paths else "BENCH_lint.json"
+    payload = run_bench(small=small, path=out)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    ok = (
+        payload["violations"] == 0
+        and payload["within_budget"]
+        and payload["report_deterministic"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,12 +9,12 @@ sensitive on the conv net).  Full-mode accuracy comparisons are recorded
 in EXPERIMENTS.md.
 """
 
-from repro.experiments import run_experiment
-from repro.experiments.table2 import _plan_from_indicator
 from repro.baselines import RandomIndicator
 from repro.common import Precision
 from repro.core.indicator import VarianceIndicator, gamma_for_loss
+from repro.experiments import run_experiment
 from repro.experiments.protocol import collect_executable_stats
+from repro.experiments.table2 import _plan_from_indicator
 from repro.models import mini_model_graph
 
 

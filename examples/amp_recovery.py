@@ -30,9 +30,11 @@ def main() -> None:
             for r in range(2)
         ),
     )
-    builder = lambda: mini_model_graph(
-        "mini_bert", batch_size=8, width_scale=24, spatial_scale=8
-    )
+
+    def builder():
+        return mini_model_graph(
+            "mini_bert", batch_size=8, width_scale=24, spatial_scale=8
+        )
 
     _, fp32_report = qsync_plan(builder, cluster, loss="ce")
     plan, amp_report = qsync_plan(

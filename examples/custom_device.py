@@ -50,9 +50,12 @@ def main() -> None:
             Worker(rank=1, device=l4ish, link_bandwidth=64 * GBPS),
         ),
     )
-    builder = lambda: mini_model_graph(
-        "mini_resnet", batch_size=128, width_scale=24, spatial_scale=4
-    )
+
+    def builder():
+        return mini_model_graph(
+            "mini_resnet", batch_size=128, width_scale=24, spatial_scale=4
+        )
+
     plan, report = qsync_plan(builder, cluster, loss="ce")
     print()
     print(report.summary())

@@ -17,9 +17,9 @@ Run:  python examples/hybrid_training_accuracy.py
 from repro.common import Precision
 from repro.core.allocator import AllocatorConfig
 from repro.experiments.protocol import find_pressure_batch, prepare_methods
+from repro.experiments.protocol import run_method_training
 from repro.experiments.table456 import CLUSTER_B_RATIO
 from repro.hardware import T4, make_cluster_b
-from repro.experiments.protocol import run_method_training
 from repro.train.data import make_image_classification
 
 

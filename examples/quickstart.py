@@ -7,6 +7,12 @@ reuses them across what-if queries — the uniform-precision baseline below
 re-profiles nothing.
 
 Run:  python examples/quickstart.py
+
+Before sending changes, run the invariant linter — it mechanically
+enforces the repo's DESIGN contracts (stable keys, rank identity,
+import layering, append-only registries; see CONTRIBUTING.md):
+
+    PYTHONPATH=src python -m repro.analysis.lint src
 """
 
 import dataclasses

@@ -25,11 +25,16 @@ def main() -> None:
             Worker(rank=r, device=T4, link_bandwidth=32 * GBPS) for r in range(2)
         ),
     )
-    builder = lambda: mini_model_graph(
-        "mini_bert6", batch_size=12, width_scale=24, spatial_scale=8
-    )
+
+    def builder():
+        return mini_model_graph(
+            "mini_bert6", batch_size=12, width_scale=24, spatial_scale=8
+        )
+
     replayer, backends = build_replayer(builder, cluster, profile_repeats=3)
-    dag = replayer.dags[0]
+    # replayer.dags is keyed by rank identity; ranks may be non-contiguous
+    # on churned clusters, so pick the lowest rank rather than literal 0.
+    dag = replayer.dags[min(replayer.dags)]
     linears = [op for op in dag.adjustable_ops() if dag.spec(op).has_weight]
 
     configs = {

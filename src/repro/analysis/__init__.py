@@ -1,0 +1,47 @@
+"""Static analysis: the DESIGN-contract invariant linter.
+
+Six PRs of growth produced a ledger of design invariants (the ROADMAP
+"DESIGN" blocks): persisted keys must be ``PYTHONHASHSEED``-stable,
+workers are looked up by rank identity rather than position, the engine
+package must not import the session layer at runtime, registries are
+append-only, deterministic paths never read wall clocks or unseeded RNG,
+and published DFGs/templates are immutable by convention.  Until now those
+contracts were enforced only by runtime tests and reviewer memory — the
+exact class of silent-staleness bug a diff-time checker catches before a
+sweep ever runs.
+
+This package is that checker: an AST-based, pluggable linter with one rule
+class per contract (``RPR001``–``RPR006``), a shared visitor framework, a
+project-wide import graph built once per run, and per-line / per-file
+suppressions that *require* a written reason::
+
+    python -m repro.analysis.lint src            # exit 0 clean, 1 dirty
+    python -m repro.analysis.lint src --format json
+
+The rule registry (:data:`~repro.analysis.framework.RULES`) is itself
+append-only — the same discipline it enforces on the registries it
+watches.
+"""
+
+from repro.analysis import rules as _rules  # noqa: F401 - registers RPR001-006
+from repro.analysis.framework import (
+    RULES,
+    LintReport,
+    ModuleInfo,
+    Project,
+    Rule,
+    Violation,
+    lint_paths,
+    register_rule,
+)
+
+__all__ = [
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "RULES",
+    "Violation",
+    "lint_paths",
+    "register_rule",
+]

@@ -1,0 +1,418 @@
+"""The invariant-linter framework: rules, suppressions, project index.
+
+Design mirrors the registries it polices:
+
+* :data:`RULES` is an **append-only** registry of :class:`Rule` instances;
+  :func:`register_rule` refuses duplicate ids and the canonical report
+  order is registration order.
+* Each rule sees one :class:`ModuleInfo` at a time (path, resolved module
+  name, parsed AST, source) plus the shared :class:`Project` index, which
+  builds the cross-module import graph **once** per run — rules never
+  re-parse or re-walk other files.
+* Suppressions are explicit and must carry a reason::
+
+      x = cluster.workers[0]  # repro: allow RPR003 demo of the old idiom
+
+  suppresses that rule on that statement only, while a comment on a line
+  of its own::
+
+      # repro: allow RPR002 wall-clock is reporting-only; never persisted
+
+  suppresses the rule for the whole file.  A suppression *without* a
+  reason is itself a violation (``RPR000``) and cannot be suppressed —
+  the contract ledger stays auditable.
+* Fixture/test files may pin the module identity the scoped rules see via
+  ``# repro: module repro.core.something`` (real package files resolve
+  their dotted name from ``__init__.py`` ancestry automatically).
+
+Everything is deterministic: files are visited in sorted order, output is
+sorted by (path, line, column, rule), and nothing reads the clock or the
+interpreter's hash salt — the JSON report is byte-stable across
+``PYTHONHASHSEED`` values so it can be diffed as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "RULES",
+    "Violation",
+    "collect_files",
+    "lint_paths",
+    "register_rule",
+]
+
+#: Directive grammar (comment-embedded): ``repro: allow <RULE-ID> <reason>``
+#: or ``repro: module <dotted.name>`` after a hash.
+_DIRECTIVE_RE = re.compile(r"#\s*repro:\s*(?P<verb>\S+)\s*(?P<rest>.*)$")
+_ALLOW_RE = re.compile(r"(?P<rule>RPR\d{3})\s*(?P<reason>.*)$")
+
+#: The meta rule id: malformed/reason-less suppressions.  Not a registered
+#: rule class on purpose — it guards the suppression mechanism itself and
+#: therefore can never be suppressed.
+META_RULE_ID = "RPR000"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One contract breach at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def formatted(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class _Suppression:
+    """A parsed ``allow`` directive."""
+
+    rule: str
+    reason: str
+    line: int
+    file_scoped: bool
+
+
+class ModuleInfo:
+    """One parsed source file plus its lint-relevant metadata."""
+
+    def __init__(self, path: Path, display_path: str, source: str):
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.suppressions: list[_Suppression] = []
+        self.meta_violations: list[Violation] = []
+        self._module_override: str | None = None
+        self._scan_directives()
+        self.module = self._module_override or _resolve_module_name(path)
+
+    # -- directives ---------------------------------------------------
+
+    def _scan_directives(self) -> None:
+        reader = io.StringIO(self.source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except tokenize.TokenError:  # unterminated constructs: ast caught it
+            tokens = []
+        code_lines = {
+            tok.start[0]
+            for tok in tokens
+            if tok.type
+            not in (
+                tokenize.COMMENT,
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            )
+        }
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            verb, rest = match.group("verb"), match.group("rest").strip()
+            if verb == "module":
+                if rest:
+                    self._module_override = rest
+                else:
+                    self._meta(line, "'# repro: module' needs a dotted name")
+            elif verb == "allow":
+                allow = _ALLOW_RE.match(rest)
+                if allow is None:
+                    self._meta(
+                        line,
+                        "malformed suppression: expected "
+                        "'# repro: allow RPR0NN <reason>'",
+                    )
+                    continue
+                rule, reason = allow.group("rule"), allow.group("reason").strip()
+                if not reason:
+                    self._meta(
+                        line,
+                        f"suppression of {rule} requires a written reason",
+                    )
+                    continue
+                self.suppressions.append(
+                    _Suppression(
+                        rule=rule,
+                        reason=reason,
+                        line=line,
+                        file_scoped=line not in code_lines,
+                    )
+                )
+            else:
+                self._meta(line, f"unknown '# repro:' directive {verb!r}")
+
+    def _meta(self, line: int, message: str) -> None:
+        self.meta_violations.append(
+            Violation(self.display_path, line, 1, META_RULE_ID, message)
+        )
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        for sup in self.suppressions:
+            if sup.rule != violation.rule:
+                continue
+            if sup.file_scoped or sup.line == violation.line:
+                return True
+        return False
+
+    # -- helpers for rules --------------------------------------------
+
+    def violation(
+        self, node: ast.AST, rule: str, message: str
+    ) -> Violation:
+        return Violation(
+            self.display_path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            rule,
+            message,
+        )
+
+
+def _resolve_module_name(path: Path) -> str:
+    """Dotted module name by walking up through ``__init__.py`` ancestry.
+
+    Files outside any package (fixtures, scripts) resolve to their bare
+    stem; fixtures that need to exercise package-scoped rules pin their
+    identity with a ``# repro: module`` directive instead.
+    """
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [path.stem]
+    return ".".join(reversed(parts))
+
+
+@dataclasses.dataclass(frozen=True)
+class ImportEdge:
+    """One ``import``/``from ... import`` of a project-internal module."""
+
+    target: str  #: dotted module being imported (absolute)
+    line: int
+    col: int
+    runtime: bool  #: False under ``if TYPE_CHECKING:``
+    module_scope: bool  #: False inside a function/lambda body
+
+
+class Project:
+    """Shared per-run index: all modules plus the import graph, built once."""
+
+    def __init__(self, modules: list[ModuleInfo]):
+        self.modules = modules
+        self.by_name = {m.module: m for m in modules}
+        self._imports: dict[str, tuple[ImportEdge, ...]] | None = None
+
+    def imports_of(self, module: str) -> tuple[ImportEdge, ...]:
+        if self._imports is None:
+            self._imports = {
+                m.module: tuple(_extract_imports(m)) for m in self.modules
+            }
+        return self._imports.get(module, ())
+
+
+def _extract_imports(mod: ModuleInfo) -> Iterator[ImportEdge]:
+    pkg_parts = mod.module.split(".")
+    # `from . import x` resolves against the containing package: the module
+    # itself for __init__.py, the parent package for ordinary modules.
+    is_package = mod.path.name == "__init__.py"
+
+    def walk(node: ast.AST, runtime: bool, module_scope: bool):
+        for child in ast.iter_child_nodes(node):
+            c_runtime, c_scope = runtime, module_scope
+            if isinstance(child, ast.If) and _is_type_checking(child.test):
+                c_runtime = False
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                c_scope = False
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    yield ImportEdge(
+                        alias.name,
+                        child.lineno,
+                        child.col_offset + 1,
+                        c_runtime,
+                        c_scope,
+                    )
+            elif isinstance(child, ast.ImportFrom):
+                target = child.module or ""
+                if child.level:
+                    # Resolve `from ..x import y` against our dotted name.
+                    base = list(pkg_parts) if is_package else pkg_parts[:-1]
+                    cut = len(base) - (child.level - 1)
+                    base = base[: max(cut, 0)]
+                    target = ".".join(base + ([target] if target else []))
+                if target:
+                    yield ImportEdge(
+                        target,
+                        child.lineno,
+                        child.col_offset + 1,
+                        c_runtime,
+                        c_scope,
+                    )
+            yield from walk(child, c_runtime, c_scope)
+
+    yield from walk(mod.tree, True, True)
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+class Rule:
+    """Base class: one DESIGN contract, one checker.
+
+    Subclasses set ``id``/``title``/``contract`` and implement
+    :meth:`check_module`.  Rules must themselves be deterministic — no
+    set-order dependence, no wall clock (the linter lints itself).
+    """
+
+    id: str = "RPR999"
+    title: str = ""
+    #: The ROADMAP DESIGN block (PR era) this rule mechanizes.
+    contract: str = ""
+
+    def check_module(
+        self, mod: ModuleInfo, project: Project
+    ) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+#: The rule registry.  Append-only: report order is registration order,
+#: ids are permanent, and RPR005 watches this name like any other registry.
+RULES: list[Rule] = []
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Append ``rule`` to :data:`RULES`; duplicate ids are refused."""
+    if any(existing.id == rule.id for existing in RULES):
+        raise ValueError(f"lint rule {rule.id!r} is already registered")
+    RULES.append(rule)
+    return rule
+
+
+# ---------------------------------------------------------------------------
+# driving a run
+# ---------------------------------------------------------------------------
+
+_SKIP_DIRS = {"__pycache__", ".git", ".qsync-artifacts"}
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    out[f] = None
+        elif p.suffix == ".py":
+            out[p] = None
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return sorted(out)
+
+
+@dataclasses.dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: list[Violation]
+    files: int
+    rules: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_text(self) -> str:
+        lines = [v.formatted() for v in self.violations]
+        summary = (
+            f"{len(self.violations)} violation(s) in {self.files} file(s)"
+            if self.violations
+            else f"clean: {self.files} file(s), {len(self.rules)} rule(s)"
+        )
+        return "\n".join(lines + [summary])
+
+    def to_json(self) -> str:
+        payload = {
+            "clean": self.clean,
+            "files": self.files,
+            "rules": list(self.rules),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Iterable[Rule] | None = None,
+    relative_to: str | Path | None = None,
+) -> LintReport:
+    """Lint ``paths`` with the registered rules (or an explicit subset).
+
+    ``relative_to`` controls how paths are reported (default: the current
+    working directory where possible, else the absolute path) — reported
+    paths are always POSIX-style for cross-platform report diffing.
+    """
+    active = list(RULES if rules is None else rules)
+    base = Path(relative_to) if relative_to is not None else Path.cwd()
+    modules = []
+    for path in collect_files(paths):
+        try:
+            display = path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            display = path.as_posix()
+        modules.append(ModuleInfo(path, display, path.read_text()))
+
+    project = Project(modules)
+    violations: list[Violation] = []
+    for mod in modules:
+        violations.extend(mod.meta_violations)
+        for rule in active:
+            for violation in rule.check_module(mod, project):
+                if not mod.is_suppressed(violation):
+                    violations.append(violation)
+    return LintReport(
+        violations=sorted(violations),
+        files=len(modules),
+        rules=tuple(r.id for r in active),
+    )

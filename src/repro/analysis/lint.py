@@ -1,0 +1,89 @@
+"""CLI: ``python -m repro.analysis.lint [paths...] [--format text|json]``.
+
+Exit status is the contract: ``0`` clean, ``1`` violations found,
+``2`` usage errors (argparse).  The JSON report is deterministic — sorted
+keys, sorted violations, relative POSIX paths, no timestamps — so it is
+byte-stable across ``PYTHONHASHSEED`` values and diffable as a CI
+artifact.
+
+Suppressing a finding requires a written reason::
+
+    x = cluster.workers[0]  # repro: allow RPR003 teaching the old idiom
+
+(line-scoped when trailing code, file-scoped on a line of its own; a
+reason-less suppression is itself reported as RPR000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.framework import RULES, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST-based invariant linter for the DESIGN contracts "
+        "(RPR001-RPR006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is deterministic and artifact-diffable)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.title}  [{rule.contract}]")
+        return 0
+    selected = None
+    if args.rules is not None:
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = {rule.id: rule for rule in RULES}
+        unknown = [w for w in wanted if w not in known]
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                f"available: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        selected = [known[w] for w in wanted]
+    try:
+        report = lint_paths(args.paths, rules=selected)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(report.to_json() if args.format == "json" else report.to_text())
+    except BrokenPipeError:  # e.g. piped into head; exit code still counts
+        pass
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

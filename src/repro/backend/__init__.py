@@ -18,12 +18,12 @@ kernels.  Here the same architecture is reproduced at the model level:
   against.
 """
 
-from repro.backend.kernels import KernelTemplate, KernelRegistry, kernel_efficiency
 from repro.backend.autotune import AutoTuner, TunedKernel
-from repro.backend.minmax import MinMaxKernel, compute_minmax
 from repro.backend.fusion import dequant_cost
-from repro.backend.wrapper import check_tensor_core_compat, SecurityWrapper
+from repro.backend.kernels import KernelRegistry, KernelTemplate, kernel_efficiency
 from repro.backend.lp_backend import LPBackend
+from repro.backend.minmax import MinMaxKernel, compute_minmax
+from repro.backend.wrapper import SecurityWrapper, check_tensor_core_compat
 
 __all__ = [
     "KernelTemplate",

@@ -13,12 +13,10 @@ from __future__ import annotations
 import dataclasses
 import math
 
-import numpy as np
-
+from repro.backend.kernels import KernelRegistry, KernelTemplate, kernel_efficiency
 from repro.common.dtypes import Precision
 from repro.common.rng import derive_seed, new_rng
 from repro.graph.ops import OpKind
-from repro.backend.kernels import KernelRegistry, KernelTemplate, kernel_efficiency
 
 
 @dataclasses.dataclass(frozen=True)

@@ -17,19 +17,15 @@ Two access styles:
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
-from repro.common.dtypes import Precision
-from repro.common.errors import UnsupportedPrecisionError
-from repro.common.rng import derive_seed, new_rng
-from repro.graph.ops import OperatorSpec, OpKind, WEIGHTED_KINDS
-from repro.hardware.device import DeviceSpec
 from repro.backend.autotune import AutoTuner
 from repro.backend.fusion import dequant_cost
 from repro.backend.minmax import MinMaxKernel
 from repro.backend.wrapper import SecurityWrapper
+from repro.common.dtypes import Precision
+from repro.common.errors import UnsupportedPrecisionError
+from repro.common.rng import derive_seed, new_rng
+from repro.graph.ops import WEIGHTED_KINDS, OperatorSpec, OpKind
+from repro.hardware.device import DeviceSpec
 
 
 def gemm_problem(spec: OperatorSpec) -> tuple[int, int, int]:

@@ -14,9 +14,9 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from repro.backend.kernels import TENSOR_CORE_SUPPORT
 from repro.common.dtypes import Precision
 from repro.graph.ops import OpKind
-from repro.backend.kernels import TENSOR_CORE_SUPPORT
 
 #: Minimum dimension alignment for tensor-core MMA operands.
 _ALIGNMENT: dict[Precision, int] = {

@@ -12,11 +12,11 @@
   without casting costs or precision-dependency modelling (Table III).
 """
 
-from repro.baselines.uniform import uniform_precision_plan
 from repro.baselines.dbs import dbs_batch_sizes, dbs_learning_rate
+from repro.baselines.dpro import DproReplayer
 from repro.baselines.hessian import HessianIndicator, hessian_top_eigenvalues
 from repro.baselines.random_ind import RandomIndicator
-from repro.baselines.dpro import DproReplayer
+from repro.baselines.uniform import uniform_precision_plan
 
 __all__ = [
     "uniform_precision_plan",

@@ -5,19 +5,19 @@ dependency-free (numpy only) and heavily unit-tested.
 """
 
 from repro.common.dtypes import (
-    Precision,
     PRECISION_ORDER,
+    Precision,
     higher_precision,
     lower_precision,
     parse_precision,
 )
 from repro.common.errors import (
+    GraphConsistencyError,
+    InfeasiblePlanError,
+    KernelConfigError,
+    MemoryBudgetError,
     ReproError,
     UnsupportedPrecisionError,
-    MemoryBudgetError,
-    GraphConsistencyError,
-    KernelConfigError,
-    InfeasiblePlanError,
 )
 from repro.common.rng import new_rng, spawn_rngs
 from repro.common.stable_hash import (
@@ -27,15 +27,15 @@ from repro.common.stable_hash import (
     stable_mod,
 )
 from repro.common.units import (
+    GB,
+    GBPS,
     KB,
     MB,
-    GB,
     MS,
-    US,
     TFLOPS,
-    GBPS,
-    bytes_to_mb,
+    US,
     bytes_to_gb,
+    bytes_to_mb,
     seconds_to_ms,
 )
 

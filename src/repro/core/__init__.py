@@ -15,19 +15,19 @@
 * :mod:`repro.core.qsync` — the end-to-end 7-step workflow (Fig. 3).
 """
 
-from repro.core.indicator import VarianceIndicator, IndicatorProtocol
-from repro.core.dfg import LocalDFG, GlobalDFG, DFGNode, NodeKind, Stream
+from repro.core.allocator import Allocator, AllocatorConfig
 from repro.core.cost_mapper import (
     CostMapper,
     effective_precisions,
-    output_precision,
     grad_precision,
+    output_precision,
 )
+from repro.core.dfg import DFGNode, GlobalDFG, LocalDFG, NodeKind, Stream
+from repro.core.indicator import IndicatorProtocol, VarianceIndicator
+from repro.core.plan import PrecisionPlan
+from repro.core.qsync import QSyncReport, qsync_plan
 from repro.core.replayer import Replayer, ReplayerStats, SimulationResult
 from repro.core.simulator import GroundTruthSimulator
-from repro.core.allocator import Allocator, AllocatorConfig
-from repro.core.plan import PrecisionPlan
-from repro.core.qsync import qsync_plan, QSyncReport
 
 __all__ = [
     "VarianceIndicator",

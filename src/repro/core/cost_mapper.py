@@ -37,13 +37,6 @@ from __future__ import annotations
 import heapq
 
 from repro.common.dtypes import Precision
-from repro.graph.dag import PrecisionDAG
-from repro.graph.propagation import (  # noqa: F401 - canonical re-export
-    effective_precisions,
-    grad_precision,
-    output_precision,
-    propagate_dirty,
-)
 from repro.core.dfg import (
     CommBucket,
     DFGNode,
@@ -52,7 +45,14 @@ from repro.core.dfg import (
     assign_buckets,
     bucket_readiness_from_stream,
 )
+from repro.graph.dag import PrecisionDAG
 from repro.graph.ops import OpKind
+from repro.graph.propagation import (  # noqa: F401 - canonical re-export
+    effective_precisions,
+    grad_precision,
+    output_precision,
+    propagate_dirty,
+)
 from repro.profiling.casting import CastCostCalculator
 from repro.profiling.memory import op_memory_contribution
 from repro.profiling.profiler import OperatorCostCatalog

@@ -194,7 +194,7 @@ class GlobalDFG:
         self.locals = list(locals_)
         if not self.locals:
             raise ValueError("global DFG needs at least one local DFG")
-        n_buckets = {len(l.buckets) for l in self.locals}
+        n_buckets = {len(ld.buckets) for ld in self.locals}
         if len(n_buckets) != 1:
             raise ValueError(
                 f"devices disagree on bucket count: {sorted(n_buckets)} — "

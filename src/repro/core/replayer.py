@@ -22,14 +22,14 @@ import dataclasses
 from repro.common.dtypes import Precision
 from repro.core.cost_mapper import CostMapper
 from repro.core.dfg import GlobalDFG, LocalDFG
-from repro.engine.perturbation import Perturbation
-from repro.engine.policy import SchedulePolicy, resolve_schedule_policy
+from repro.engine.perturbation import Perturbation  # repro: allow RPR004 dispatch tiers (PR 5): the Replayer validates policy/perturbation kwargs at construction, before any engine run
+from repro.engine.policy import SchedulePolicy, resolve_schedule_policy  # repro: allow RPR004 dispatch tiers (PR 5): non-default policies route through the engine; the engine itself never imports core's Replayer
+from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import Cluster
 from repro.parallel.comm_model import CollectiveModel, resolve_collective_model
 from repro.profiling.casting import CastCostCalculator
 from repro.profiling.memory import MemoryEstimate, MemoryModel
 from repro.profiling.profiler import OperatorCostCatalog
-from repro.graph.dag import PrecisionDAG
 
 
 @dataclasses.dataclass
@@ -383,7 +383,7 @@ def simulate_global_dfg(
     comm_end_prev = 0.0
     comm_end_final: float = 0.0
     for n in range(gdfg.n_buckets):
-        start_candidates = [ready_times[l.rank][n] for l in locals_]
+        start_candidates = [ready_times[ld.rank][n] for ld in locals_]
         comm_start = max(max(start_candidates), comm_end_prev)
         comm_end = comm_start + durations[n]
         if collect_timeline:

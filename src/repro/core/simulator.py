@@ -23,10 +23,10 @@ the only degrees of freedom left are the costs themselves.
 
 from __future__ import annotations
 
+from repro.backend.lp_backend import LPBackend
 from repro.common.rng import derive_seed, new_rng
 from repro.core.dfg import GlobalDFG, LocalDFG
 from repro.core.replayer import SimulationResult
-from repro.backend.lp_backend import LPBackend
 from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import Cluster
 

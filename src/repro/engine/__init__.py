@@ -35,17 +35,17 @@ from repro.engine.costs import (
     optimizer_pass_seconds,
 )
 from repro.engine.perturbation import Perturbation
-from repro.engine.segments import (
-    EpochSegment,
-    SegmentedRun,
-    simulate_with_churn,
-)
 from repro.engine.policy import (
     SCHEDULE_POLICIES,
     BlockingSyncPolicy,
     DDPOverlapPolicy,
     SchedulePolicy,
     resolve_schedule_policy,
+)
+from repro.engine.segments import (
+    EpochSegment,
+    SegmentedRun,
+    simulate_with_churn,
 )
 
 __all__ = [

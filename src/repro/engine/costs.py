@@ -36,18 +36,18 @@ import functools
 
 from repro.common.dtypes import Precision
 from repro.common.rng import derive_seed
+from repro.core.cost_mapper import (  # noqa: F401 - canonical re-export
+    catalog_backward_segment,
+    catalog_forward_segment,
+    catalog_pure_cost,
+    optimizer_pass_seconds,
+)
 from repro.core.dfg import (
     DFGNode,
     LocalDFG,
     NodeKind,
     assign_buckets,
     bucket_readiness_from_stream,
-)
-from repro.core.cost_mapper import (  # noqa: F401 - canonical re-export
-    catalog_backward_segment,
-    catalog_forward_segment,
-    catalog_pure_cost,
-    optimizer_pass_seconds,
 )
 from repro.graph.dag import PrecisionDAG
 from repro.graph.ops import OpKind

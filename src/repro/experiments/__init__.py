@@ -22,6 +22,7 @@ fig8     Indicator rank trace over early training (Fig. 8)
 ======== ==========================================================
 """
 
+from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.base import ExperimentResult, format_table
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -31,7 +32,6 @@ from repro.experiments.registry import (
     get_experiment,
     run_experiment,
 )
-from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.sweep import (
     CellOutcome,
     ScenarioCell,

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from repro.backend import LPBackend, MinMaxKernel
+from repro.backend import LPBackend
 from repro.common.dtypes import Precision
 from repro.experiments.base import ExperimentResult
 from repro.hardware import A10, T4

@@ -17,21 +17,19 @@ plan).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
 
 import numpy as np
 
 from repro.baselines import dbs_batch_sizes
 from repro.common.dtypes import Precision
-from repro.core.plan import PrecisionPlan
 from repro.core.allocator import AllocatorConfig
 from repro.hardware.cluster import Cluster
-from repro.session import PlanRequest, PlanSession
 from repro.models import make_mini_model, mini_model_graph
 from repro.parallel import DataParallelTrainer, WorkerConfig
 from repro.profiling import MemoryModel, collect_model_stats
+from repro.session import PlanRequest, PlanSession
 from repro.tensor import Tensor, functional as F
-from repro.train import Adam, SGD, Dataset
+from repro.train import SGD, Adam, Dataset
 
 #: Production-scale graph settings per mini model (shapes reach the regime
 #: where the paper's memory/throughput pressures are active).
@@ -223,9 +221,11 @@ def run_method_training(
         for w in cluster.workers
     ]
     if optimizer == "sgd":
-        opt_factory = lambda m: SGD(m, lr=lr, momentum=0.9)
+        def opt_factory(m):
+            return SGD(m, lr=lr, momentum=0.9)
     else:
-        opt_factory = lambda m: Adam(m, lr=lr)
+        def opt_factory(m):
+            return Adam(m, lr=lr)
     trainer = DataParallelTrainer(
         model_factory=lambda s: make_mini_model(model_name, seed=s),
         workers=workers,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable
 
-from repro.experiments.base import ExperimentResult
 from repro.experiments import (
     churn,
     comm,
@@ -19,6 +18,7 @@ from repro.experiments import (
     table3,
     table456,
 )
+from repro.experiments.base import ExperimentResult
 from repro.experiments.table456 import run_table4, run_table5, run_table6
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {

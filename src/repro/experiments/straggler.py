@@ -61,8 +61,10 @@ def run(
     )
     replayer = ctx.replayer
     clean = replayer.simulate()
-    # Slow down the last (inference, already-slowest-NIC) rank.
-    straggler_rank = ctx.cluster.workers[-1].rank
+    # Slow down the highest-ranked (inference, already-slowest-NIC) worker.
+    # Ranks are identities, possibly non-contiguous (PR 5) — select by rank
+    # value, not by position in the worker tuple.
+    straggler_rank = max(w.rank for w in ctx.cluster.workers)
 
     rows = []
     extras: dict[str, object] = {

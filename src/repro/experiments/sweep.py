@@ -31,6 +31,10 @@ import dataclasses
 import functools
 import time
 import traceback
+
+# repro: allow RPR002 perf_counter feeds SweepReport progress timings only;
+# they are reporting-side and never enter artifacts, fingerprints or keys
+# (PR 2: artifact bytes are deterministic, no timings inside).
 from typing import Any, Iterable, Sequence
 
 from repro.common.stable_hash import stable_digest, stable_mod

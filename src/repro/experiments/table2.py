@@ -17,8 +17,6 @@ inference GPUs carrying the plan), ``seeds`` repetitions.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines import HessianIndicator, RandomIndicator, hessian_top_eigenvalues
 from repro.common.dtypes import Precision
 from repro.common.rng import new_rng
@@ -26,7 +24,6 @@ from repro.core.indicator import VarianceIndicator, gamma_for_loss
 from repro.experiments.base import ExperimentResult, mean_std
 from repro.experiments.protocol import collect_executable_stats, run_method_training
 from repro.experiments.protocol import MethodPlan
-from repro.hardware import make_cluster_a, make_cluster_b
 from repro.models import make_mini_model, mini_model_graph
 from repro.tensor import Tensor, functional as F
 from repro.train.data import make_image_classification, make_token_classification

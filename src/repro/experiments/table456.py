@@ -157,7 +157,9 @@ def run_table4(quick: bool = True, seeds: int | None = None) -> ExperimentResult
 
 
 def run_table5(quick: bool = True, seeds: int | None = None) -> ExperimentResult:
-    factory = lambda t, i: make_cluster_b(t, i, memory_ratio=CLUSTER_B_RATIO)
+    def factory(t, i):
+        return make_cluster_b(t, i, memory_ratio=CLUSTER_B_RATIO)
+
     return _run_table(
         "table5",
         f"From-scratch training on ClusterB (T4 memory x{CLUSTER_B_RATIO})",

@@ -8,8 +8,8 @@
   the Allocator's initial brute-force search (Sec. V).
 """
 
-from repro.graph.ops import OpKind, OpCategory, OperatorSpec
 from repro.graph.dag import PrecisionDAG
+from repro.graph.ops import OpCategory, OperatorSpec, OpKind
 from repro.graph.subgraph import group_blocks, structural_signature
 
 __all__ = [

@@ -15,7 +15,7 @@ import networkx as nx
 from repro.common.dtypes import Precision, parse_precision
 from repro.common.errors import GraphConsistencyError
 from repro.common.stable_hash import stable_hash
-from repro.graph.ops import OpCategory, OperatorSpec
+from repro.graph.ops import OperatorSpec
 
 
 class PrecisionDAG:

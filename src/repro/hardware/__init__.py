@@ -15,23 +15,6 @@ node-grouped versions whose intra/inter link tiers
 Device specs come from the same NVIDIA datasheets the paper cites.
 """
 
-from repro.hardware.device import DeviceSpec, SharingMode
-from repro.hardware.presets import (
-    V100,
-    T4,
-    A10,
-    A100,
-    DEVICE_REGISTRY,
-    get_device,
-)
-from repro.hardware.topology import LinkSpec, NodeSpec, Topology
-from repro.hardware.events import (
-    EVENT_KINDS,
-    ClusterEvent,
-    MembershipDelta,
-    apply_events,
-    validate_events,
-)
 from repro.hardware.cluster import (
     CLUSTER_PRESETS,
     Cluster,
@@ -43,6 +26,23 @@ from repro.hardware.cluster import (
     make_cluster_b,
     make_cluster_b_multinode,
 )
+from repro.hardware.device import DeviceSpec, SharingMode
+from repro.hardware.events import (
+    EVENT_KINDS,
+    ClusterEvent,
+    MembershipDelta,
+    apply_events,
+    validate_events,
+)
+from repro.hardware.presets import (
+    A10,
+    A100,
+    DEVICE_REGISTRY,
+    T4,
+    V100,
+    get_device,
+)
+from repro.hardware.topology import LinkSpec, NodeSpec, Topology
 
 __all__ = [
     "DeviceSpec",

@@ -26,14 +26,14 @@ from repro.hardware.device import DeviceSpec
 from repro.hardware.presets import A100, T4, V100
 from repro.hardware.topology import (
     ETH100G,
-    LinkSpec,
     NVLINK2,
     NVLINK3,
-    NodeSpec,
     PCIE3,
     PCIE4,
-    Topology,
     WAN10G,
+    LinkSpec,
+    NodeSpec,
+    Topology,
 )
 
 

@@ -13,11 +13,11 @@ Two parallel families:
 """
 
 from repro.models.catalog import (
-    vgg16_graph,
-    resnet50_graph,
-    bert_graph,
-    roberta_graph,
     MODEL_GRAPHS,
+    bert_graph,
+    resnet50_graph,
+    roberta_graph,
+    vgg16_graph,
 )
 from repro.models.trainable import (
     MiniConvNet,

@@ -18,8 +18,8 @@ from typing import Callable
 
 from repro.graph.dag import PrecisionDAG
 from repro.graph.ops import (
-    OpKind,
     OperatorSpec,
+    OpKind,
     conv2d_flops,
     elementwise_flops,
     linear_flops,

@@ -14,17 +14,17 @@ import numpy as np
 
 from repro.graph.dag import PrecisionDAG
 from repro.graph.ops import (
-    OpKind,
     OperatorSpec,
+    OpKind,
     conv2d_flops,
     elementwise_flops,
     linear_flops,
 )
+from repro.tensor import functional as F
 from repro.tensor.modules import (
     BatchNorm2d,
     Conv2d,
     Embedding,
-    Flatten,
     GlobalAvgPool2d,
     Linear,
     MaxPool2d,
@@ -34,7 +34,6 @@ from repro.tensor.modules import (
     TransformerBlock,
 )
 from repro.tensor.tensor import Tensor
-from repro.tensor import functional as F
 
 
 class MiniConvNet(Module):

@@ -25,7 +25,7 @@ from typing import Callable
 import numpy as np
 
 from repro.common.dtypes import Precision
-from repro.common.rng import derive_seed, spawn_rngs
+from repro.common.rng import derive_seed
 from repro.parallel.collective import allreduce_gradients
 from repro.tensor import Tensor, functional as F
 from repro.tensor.modules import Module

@@ -13,20 +13,20 @@ indicator statistics (workflow step 2).
   the full-size graphs.
 """
 
-from repro.profiling.casting import LinearCostModel, CastCostCalculator
-from repro.profiling.profiler import OperatorCostCatalog, profile_operator_costs
-from repro.profiling.memory import MemoryModel, MemoryEstimate
-from repro.profiling.stats import (
-    OperatorStats,
-    StatsRecorder,
-    collect_model_stats,
-    synthesize_stats,
-)
+from repro.profiling.casting import CastCostCalculator, LinearCostModel
+from repro.profiling.memory import MemoryEstimate, MemoryModel
 from repro.profiling.persistence import (
     load_catalog,
     load_plan,
     save_catalog,
     save_plan,
+)
+from repro.profiling.profiler import OperatorCostCatalog, profile_operator_costs
+from repro.profiling.stats import (
+    OperatorStats,
+    StatsRecorder,
+    collect_model_stats,
+    synthesize_stats,
 )
 
 __all__ = [

@@ -15,8 +15,8 @@ import dataclasses
 
 import numpy as np
 
-from repro.common.dtypes import Precision
 from repro.backend.lp_backend import LPBackend
+from repro.common.dtypes import Precision
 
 
 @dataclasses.dataclass

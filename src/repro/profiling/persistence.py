@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.common.dtypes import parse_precision
-from repro.core.plan import PrecisionPlan
 from repro.profiling.profiler import OperatorCost, OperatorCostCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.plan import PrecisionPlan
 
 
 def catalog_to_dict(catalog: OperatorCostCatalog) -> dict:
@@ -66,4 +69,8 @@ def save_plan(plan: PrecisionPlan, path: str | Path) -> None:
 
 def load_plan(path: str | Path) -> PrecisionPlan:
     """Read a plan previously written by :func:`save_plan`."""
+    # Deferred: profiling sits below core on the import ladder (RPR004);
+    # plan (de)serialization is a call-time delegation upward.
+    from repro.core.plan import PrecisionPlan
+
     return PrecisionPlan.from_dict(json.loads(Path(path).read_text()))

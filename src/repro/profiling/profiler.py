@@ -13,10 +13,10 @@ import dataclasses
 
 import numpy as np
 
+from repro.backend.lp_backend import LPBackend
 from repro.common.dtypes import Precision
 from repro.graph.dag import PrecisionDAG
 from repro.graph.ops import OperatorSpec
-from repro.backend.lp_backend import LPBackend
 
 
 @dataclasses.dataclass(frozen=True)

@@ -21,7 +21,6 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.common.dtypes import Precision
 from repro.common.rng import derive_seed, new_rng
 from repro.graph.dag import PrecisionDAG
 from repro.quant.fixed_point import FixedPointQuantizer

@@ -12,17 +12,17 @@ Implements the arithmetic QSync's theory is built on:
   Proposition 2 and effective-bit estimation.
 """
 
-from repro.quant.stochastic import stochastic_round, floor_round, nearest_round
 from repro.quant.fixed_point import (
     FixedPointQuantizer,
-    QuantizedTensor,
     Granularity,
+    QuantizedTensor,
 )
 from repro.quant.floating_point import FloatingPointQuantizer, simulate_cast
+from repro.quant.stochastic import floor_round, nearest_round, stochastic_round
 from repro.quant.variance import (
+    effective_exponent,
     fixed_point_variance,
     floating_point_variance,
-    effective_exponent,
     quantization_mse,
 )
 

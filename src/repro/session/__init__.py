@@ -13,6 +13,7 @@ The legacy entry points (``repro.core.qsync.qsync_plan`` /
 ephemeral session.
 """
 
+from repro.engine import Perturbation
 from repro.session.outcome import PlanOutcome, passive_allocation_report
 from repro.session.planners import (
     Planner,
@@ -27,7 +28,6 @@ from repro.session.profiles import (
 )
 from repro.session.request import PlanRequest, available_model_names
 from repro.session.session import PlanContext, PlanSession, ReplanOutcome
-from repro.engine import Perturbation
 
 __all__ = [
     "Perturbation",

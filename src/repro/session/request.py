@@ -20,10 +20,10 @@ from typing import Any, Callable, Mapping, Union
 
 from repro.backend.lp_backend import LPBackend
 from repro.core.allocator import AllocatorConfig
+from repro.core.indicator import gamma_for_loss
 from repro.engine.perturbation import Perturbation
 from repro.engine.policy import SCHEDULE_POLICIES, SchedulePolicy
 from repro.graph.dag import PrecisionDAG
-from repro.core.indicator import gamma_for_loss
 from repro.hardware.cluster import CLUSTER_PRESETS, Cluster, get_cluster_preset
 from repro.parallel.comm_model import COLLECTIVE_MODELS, CollectiveModel
 from repro.profiling.stats import OperatorStats

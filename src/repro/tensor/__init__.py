@@ -16,25 +16,25 @@ Layout:
   paper's operator semantics (forward+backward precision change together).
 """
 
-from repro.tensor.tensor import Tensor, no_grad
 from repro.tensor import functional
 from repro.tensor.modules import (
-    Module,
-    Sequential,
-    Linear,
-    Conv2d,
-    BatchNorm2d,
-    LayerNorm,
-    Embedding,
-    ReLU,
     GELU,
-    MaxPool2d,
-    GlobalAvgPool2d,
-    Flatten,
+    BatchNorm2d,
+    Conv2d,
     Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    Module,
     MultiHeadAttention,
+    ReLU,
+    Sequential,
 )
 from repro.tensor.qmodules import PrecisionConfig, QuantizedOp
+from repro.tensor.tensor import Tensor, no_grad
 
 __all__ = [
     "Tensor",

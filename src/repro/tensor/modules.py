@@ -14,7 +14,6 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.common.dtypes import Precision
 from repro.common.rng import new_rng
 from repro.tensor import functional as F
 from repro.tensor.qmodules import PrecisionConfig, apply_input_precision

@@ -1,14 +1,14 @@
 """Training substrate: optimizers, schedulers, synthetic data, metrics."""
 
-from repro.train.optim import SGD, Adam, Optimizer
-from repro.train.schedulers import CosineSchedule, StepSchedule, WarmupSchedule
 from repro.train.data import (
     Dataset,
     make_image_classification,
     make_token_classification,
 )
-from repro.train.metrics import top1_accuracy, f1_macro
 from repro.train.loop import TrainResult, evaluate, train_single
+from repro.train.metrics import f1_macro, top1_accuracy
+from repro.train.optim import SGD, Adam, Optimizer
+from repro.train.schedulers import CosineSchedule, StepSchedule, WarmupSchedule
 
 __all__ = [
     "SGD",

@@ -1,0 +1,17 @@
+"""Fixture: reason-less / malformed suppressions are themselves violations.
+
+A suppression without a written reason does NOT silence the underlying
+rule — both RPR000 and the original finding are reported.  Expected
+findings (asserted explicitly in tests/test_analysis.py, not via inline
+annotations, which would read as the suppression reason):
+
+* the reason-less allow line: RPR000 AND RPR003 (still unsuppressed)
+* the typo-verb directive line: RPR000 (unknown directive verb)
+"""
+
+
+def f(cluster):
+    return cluster.workers[0]  # repro: allow RPR003
+
+
+# repro: typo-verb RPR003 this directive verb does not exist

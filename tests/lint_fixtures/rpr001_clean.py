@@ -1,0 +1,20 @@
+"""Fixture: the sanctioned stable-key idioms pass RPR001."""
+# repro: module repro.core.lint_fixture_rpr001_clean
+from repro.common.stable_hash import stable_hash, stable_mod
+
+
+def cache_key(graph):
+    return stable_hash(graph.name)
+
+
+def bucket_index(obj, n):
+    return stable_mod(obj.name, n)
+
+
+def visit(ops):
+    for op in sorted({o.lower() for o in ops}):
+        yield op
+
+
+def freeze_order(ops):
+    return sorted(set(ops))

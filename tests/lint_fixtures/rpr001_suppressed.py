@@ -1,0 +1,6 @@
+"""Fixture: an RPR001 suppression with a written reason is honored."""
+# repro: module repro.core.lint_fixture_rpr001_sup
+
+
+def legacy_memo_key(graph):
+    return hash(graph.name)  # repro: allow RPR001 in-process memo only; key never leaves this interpreter

@@ -1,0 +1,19 @@
+"""Fixture: RPR001 catches salt-dependent keys on the key-feeding layers."""
+# repro: module repro.core.lint_fixture_rpr001
+
+
+def cache_key(graph):
+    return hash(graph.name)  # expect: RPR001
+
+
+def bucket_index(obj, n):
+    return id(obj) % n  # expect: RPR001
+
+
+def visit(ops):
+    for op in {o.lower() for o in ops}:  # expect: RPR001
+        yield op
+
+
+def freeze_order(ops):
+    return list(set(ops))  # expect: RPR001

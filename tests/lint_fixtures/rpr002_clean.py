@@ -1,0 +1,13 @@
+"""Fixture: seed-derived generators pass RPR002."""
+# repro: module repro.engine.lint_fixture_rpr002_clean
+import numpy as np
+
+from repro.common.rng import derive_seed, new_rng
+
+
+def make_generator(seed):
+    return np.random.default_rng(derive_seed(seed, "fixture"))
+
+
+def helper_generator(seed):
+    return new_rng(derive_seed(seed, "fixture", "helper"))

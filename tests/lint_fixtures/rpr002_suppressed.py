@@ -1,0 +1,12 @@
+"""Fixture: a file-scoped RPR002 suppression (own-line comment) is honored."""
+# repro: module repro.experiments.lint_fixture_rpr002_sup
+# repro: allow RPR002 wall-clock feeds progress reporting only; timings never enter artifacts or fingerprints
+import time
+
+
+def elapsed(t0):
+    return time.perf_counter() - t0
+
+
+def now():
+    return time.time()

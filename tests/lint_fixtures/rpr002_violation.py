@@ -1,0 +1,31 @@
+"""Fixture: RPR002 catches wall clocks and unstable RNG on deterministic paths."""
+# repro: module repro.engine.lint_fixture_rpr002
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # expect: RPR002
+
+
+def tick():
+    return time.perf_counter()  # expect: RPR002
+
+
+def today():
+    return datetime.now()  # expect: RPR002
+
+
+def jitter():
+    return random.random()  # expect: RPR002
+
+
+def draw():
+    return np.random.normal()  # expect: RPR002
+
+
+def make_generator():
+    return np.random.default_rng()  # expect: RPR002

@@ -1,0 +1,14 @@
+"""Fixture: rank-identity lookups pass RPR003."""
+
+
+def worker_for(cluster, rank):
+    by_rank = {w.rank: w for w in cluster.workers}
+    return by_rank[rank]
+
+
+def slowest_rank(cluster):
+    return max(w.rank for w in cluster.workers)
+
+
+def training_workers(cluster):
+    return [w for w in cluster.workers if w.is_training]

@@ -1,0 +1,5 @@
+"""Fixture: a line-scoped RPR003 suppression with a reason is honored."""
+
+
+def demo_of_old_idiom(cluster):
+    return cluster.workers[0]  # repro: allow RPR003 docs demo of the pre-PR5 idiom; never runs on churned clusters

@@ -1,0 +1,13 @@
+"""Fixture: RPR003 catches positional indexing into worker tuples."""
+
+
+def worker_for(cluster, rank):
+    return cluster.workers[rank]  # expect: RPR003
+
+
+def last_worker(ctx):
+    return ctx.cluster.workers[-1]  # expect: RPR003
+
+
+def first_slice(cluster):
+    return cluster.workers[:2]  # expect: RPR003

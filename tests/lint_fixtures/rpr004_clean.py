@@ -1,0 +1,12 @@
+"""Fixture: TYPE_CHECKING-guarded upward imports pass RPR004 (the PR 6 idiom)."""
+# repro: module repro.engine.lint_fixture_rpr004_clean
+from typing import TYPE_CHECKING
+
+from repro.common.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.request import PlanRequest
+
+
+def fixture_seed(request: "PlanRequest") -> int:
+    return derive_seed(0, request.model)

@@ -1,0 +1,7 @@
+"""Fixture: RPR004 catches module-scope imports that point up the ladder."""
+# repro: module repro.hardware.lint_fixture_rpr004_ladder
+from repro.core.plan import PrecisionPlan  # expect: RPR004
+
+
+def describe(plan: PrecisionPlan) -> str:
+    return str(plan)

@@ -1,0 +1,7 @@
+"""Fixture: a sanctioned layering exception carries a written reason."""
+# repro: module repro.profiling.lint_fixture_rpr004_sup
+from repro.core.plan import PrecisionPlan  # repro: allow RPR004 call-time delegation upward is sanctioned for plan serialization
+
+
+def round_trip(plan: PrecisionPlan) -> PrecisionPlan:
+    return PrecisionPlan.from_dict(plan.to_dict())

@@ -1,0 +1,13 @@
+"""Fixture: RPR004 catches runtime engine→session imports, any scope."""
+# repro: module repro.engine.lint_fixture_rpr004
+from repro.session.request import PlanRequest  # expect: RPR004
+
+
+def build_session():
+    from repro.session import PlanSession  # expect: RPR004
+
+    return PlanSession()
+
+
+def describe(request: PlanRequest) -> str:
+    return request.model

@@ -1,0 +1,12 @@
+"""Fixture: the append-only registration idiom passes RPR005."""
+
+SCHEDULE_POLICIES = {"ddp_overlap": object}
+
+
+def register_policy(name, policy):
+    if name in SCHEDULE_POLICIES:
+        raise ValueError(f"policy {name!r} is already registered")
+    SCHEDULE_POLICIES[name] = policy
+
+
+register_policy("blocking_sync", object)

@@ -1,0 +1,7 @@
+"""Fixture: a reasoned RPR005 suppression (e.g. test teardown) is honored."""
+
+SCHEDULE_POLICIES = {"ddp_overlap": object}
+
+
+def remove_fixture_policy(name):
+    SCHEDULE_POLICIES.pop(name)  # repro: allow RPR005 test-harness teardown restores the pristine registry between cases

@@ -1,0 +1,22 @@
+"""Fixture: RPR005 catches every non-append registry mutation."""
+
+SCHEDULE_POLICIES = {"ddp_overlap": object}
+
+SCHEDULE_POLICIES = {"blocking_sync": object}  # expect: RPR005
+
+
+def prune():
+    SCHEDULE_POLICIES.pop("ddp_overlap")  # expect: RPR005
+
+
+def drop():
+    del SCHEDULE_POLICIES["ddp_overlap"]  # expect: RPR005
+
+
+def rebuild():
+    global EVENT_KINDS
+    EVENT_KINDS = ()  # expect: RPR005
+
+
+def reorder(registry_module):
+    registry_module.CLUSTER_PRESETS.clear()  # expect: RPR005

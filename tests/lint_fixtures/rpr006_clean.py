@@ -1,0 +1,19 @@
+"""Fixture: copy-then-mutate and constructor stores pass RPR006."""
+
+import dataclasses
+
+
+class NodeBuilder:
+    def __init__(self, duration):
+        # Constructor stores on self are the object's own initialization.
+        self.duration = duration
+
+
+def slowed_copy(node, factor):
+    return dataclasses.replace(node, duration=node.duration * factor)
+
+
+def what_if(ctx, op, precision):
+    dag = ctx.template.copy()
+    dag.set_precision(op, precision)
+    return dag

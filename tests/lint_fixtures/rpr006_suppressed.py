@@ -1,0 +1,5 @@
+"""Fixture: a reasoned RPR006 suppression is honored."""
+
+
+def scrub(node):
+    node.duration = 0.0  # repro: allow RPR006 node is builder-owned here and unpublished until assembly returns

@@ -1,0 +1,17 @@
+"""Fixture: RPR006 catches in-place mutation of published DFGs/templates."""
+
+
+def slow_down(node, factor):
+    node.duration = node.duration * factor  # expect: RPR006
+
+
+def scale(node, factor):
+    node.duration *= factor  # expect: RPR006
+
+
+def retune(ctx):
+    ctx.template.batch_size = 64  # expect: RPR006
+
+
+def deep_poke(ctx):
+    ctx.template.nodes[0].kind = "other"  # expect: RPR006

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common import GB, Precision
+from repro.common import Precision
 from repro.common.errors import InfeasiblePlanError
 from repro.core import AllocatorConfig, qsync_plan
 from repro.core.allocator import Allocator

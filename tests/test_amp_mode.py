@@ -5,7 +5,6 @@ QSync is still applicable, with the precision recovery target shifting from
 the inference GPU to the training GPU" — the throughput-maximum case.
 """
 
-import pytest
 
 from repro.common import Precision
 from repro.common.units import GBPS

@@ -1,0 +1,217 @@
+"""The invariant linter: rules, suppressions, registry, CLI, determinism.
+
+Fixture-driven: every rule has at least one *detection* fixture (expected
+findings annotated inline with ``# expect: RPR0NN``) and one
+*suppression-with-reason* fixture under ``tests/lint_fixtures/``; clean
+fixtures pin the sanctioned idiom each rule points people toward.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Rule, lint_paths, register_rule
+from repro.analysis.framework import ModuleInfo, collect_files
+from repro.analysis.lint import main as lint_main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9 ]+)$")
+
+RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
+
+
+def expected_findings(path: Path) -> list[tuple[int, str]]:
+    """Parse ``# expect: RPR0NN [RPR0MM ...]`` annotations -> (line, rule)."""
+    out = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for rule in match.group(1).split():
+                out.append((lineno, rule))
+    return sorted(out)
+
+
+def findings(path: Path) -> list[tuple[int, str]]:
+    report = lint_paths([path])
+    return sorted((v.line, v.rule) for v in report.violations)
+
+
+# ---------------------------------------------------------------------------
+# detection + clean + suppression, per rule
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_detects_violation_fixture(rule_id):
+    fixture = FIXTURES / f"{rule_id.lower()}_violation.py"
+    expected = expected_findings(fixture)
+    assert expected, f"fixture {fixture.name} declares no expectations"
+    assert findings(fixture) == expected
+
+
+def test_rpr004_ladder_fixture():
+    fixture = FIXTURES / "rpr004_ladder_violation.py"
+    assert findings(fixture) == expected_findings(fixture)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_passes_clean_fixture(rule_id):
+    fixture = FIXTURES / f"{rule_id.lower()}_clean.py"
+    assert findings(fixture) == []
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_suppression_with_reason_is_honored(rule_id):
+    fixture = FIXTURES / f"{rule_id.lower()}_suppressed.py"
+    assert findings(fixture) == []
+
+
+def test_reasonless_suppression_is_a_violation_and_does_not_suppress():
+    fixture = FIXTURES / "rpr000_missing_reason.py"
+    source = fixture.read_text().splitlines()
+    allow_line = next(
+        i for i, l in enumerate(source, 1) if "# repro: allow RPR003" in l
+    )
+    typo_line = next(
+        i for i, l in enumerate(source, 1) if "# repro: typo-verb" in l
+    )
+    assert findings(fixture) == sorted(
+        [(allow_line, "RPR000"), (allow_line, "RPR003"), (typo_line, "RPR000")]
+    )
+
+
+# ---------------------------------------------------------------------------
+# the framework itself
+# ---------------------------------------------------------------------------
+
+
+def test_rule_registry_order_is_canonical_and_append_only():
+    # Same discipline as test_registration_order_is_canonical for planners:
+    # ids are permanent and new rules append — never reorder or rename.
+    assert tuple(rule.id for rule in RULES) == RULE_IDS
+    with pytest.raises(ValueError, match="already registered"):
+        register_rule(type("Dup", (Rule,), {"id": "RPR001"})())
+    # The failed registration must not have left a partial entry behind.
+    assert tuple(rule.id for rule in RULES) == RULE_IDS
+
+
+def test_every_rule_names_its_contract():
+    for rule in RULES:
+        assert rule.title, rule.id
+        assert rule.contract, f"{rule.id} must name the PR-era contract"
+
+
+def test_module_name_resolution_and_override(tmp_path):
+    pkg = tmp_path / "mypkg"
+    (pkg / "sub").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "sub" / "__init__.py").write_text("")
+    (pkg / "sub" / "mod.py").write_text("x = 1\n")
+    mod = ModuleInfo(pkg / "sub" / "mod.py", "mod.py", "x = 1\n")
+    assert mod.module == "mypkg.sub.mod"
+    override = ModuleInfo(
+        tmp_path / "loose.py",
+        "loose.py",
+        "# repro: module repro.core.pretend\nx = 1\n",
+    )
+    assert override.module == "repro.core.pretend"
+
+
+def test_collect_files_is_sorted_and_deduplicated(tmp_path):
+    (tmp_path / "b.py").write_text("")
+    (tmp_path / "a.py").write_text("")
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "c.py").write_text("")
+    got = collect_files([tmp_path, tmp_path / "a.py"])
+    assert got == [tmp_path / "a.py", tmp_path / "b.py"]
+
+
+def test_file_scoped_vs_line_scoped_suppression(tmp_path):
+    line_scoped = tmp_path / "line.py"
+    line_scoped.write_text(
+        "def f(c):\n"
+        "    a = c.workers[0]  # repro: allow RPR003 demo reason\n"
+        "    return c.workers[1]\n"
+    )
+    report = lint_paths([line_scoped])
+    assert [(v.line, v.rule) for v in report.violations] == [(3, "RPR003")]
+
+    file_scoped = tmp_path / "file.py"
+    file_scoped.write_text(
+        "# repro: allow RPR003 whole-file demo reason\n"
+        "def f(c):\n"
+        "    a = c.workers[0]\n"
+        "    return c.workers[1]\n"
+    )
+    assert lint_paths([file_scoped]).clean
+
+
+def test_unscoped_modules_skip_scoped_rules(tmp_path):
+    # Without a module override the fixture resolves to its bare stem,
+    # which is outside RPR001's exemptions — but tensor/quant-style
+    # modules are exempt from RPR001 by dotted name.
+    exempt = tmp_path / "exempt.py"
+    exempt.write_text(
+        "# repro: module repro.tensor.autograd_fixture\n"
+        "def key(obj):\n"
+        "    return id(obj)\n"
+    )
+    assert lint_paths([exempt]).clean
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_rule_filter(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(c):\n    return c.workers[0]\n")
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR003" in out and "bad.py:2:" in out
+
+    assert lint_main([str(bad), "--rules", "RPR001"]) == 0
+    assert lint_main([str(bad), "--rules", "NOPE"]) == 2
+    assert lint_main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in listing
+
+
+def test_cli_json_report_is_deterministic_across_hash_seeds(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(c):\n"
+        "    for x in set(c.names):\n"
+        "        pass\n"
+        "    return c.workers[0], hash(c), id(c)\n"
+        "# repro: module repro.core.fixture\n"
+    )
+
+    def run(seed):
+        env = {"PYTHONPATH": str(SRC), "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(bad), "--format", "json"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    first, second = run("1"), run("12345")
+    assert first.returncode == 1 and second.returncode == 1
+    assert first.stdout == second.stdout
+    payload = json.loads(first.stdout)
+    assert payload["clean"] is False
+    rules_found = {v["rule"] for v in payload["violations"]}
+    assert {"RPR001", "RPR003"} <= rules_found
+    # Deterministic ordering: sorted by (path, line, col, rule).
+    keys = [(v["path"], v["line"], v["col"], v["rule"]) for v in payload["violations"]]
+    assert keys == sorted(keys)

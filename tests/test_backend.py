@@ -1,12 +1,7 @@
 """Tests for the LP-PyTorch backend simulation."""
 
-import numpy as np
 import pytest
 
-from repro.common import MB, Precision, new_rng
-from repro.common.errors import KernelConfigError
-from repro.graph.ops import OperatorSpec, OpKind
-from repro.hardware import T4, V100, A10
 from repro.backend import (
     AutoTuner,
     KernelRegistry,
@@ -19,6 +14,10 @@ from repro.backend import (
     dequant_cost,
     kernel_efficiency,
 )
+from repro.common import MB, Precision, new_rng
+from repro.common.errors import KernelConfigError
+from repro.graph.ops import OperatorSpec, OpKind
+from repro.hardware import A10, T4, V100
 
 
 class TestKernelTemplates:

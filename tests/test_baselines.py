@@ -1,11 +1,7 @@
 """Tests for the comparison baselines: UP, DBS, Hessian, Random, Dpro."""
 
-import numpy as np
 import pytest
 
-from repro.backend import LPBackend
-from repro.common import GB, Precision, new_rng
-from repro.common.errors import InfeasiblePlanError
 from repro.baselines import (
     DproReplayer,
     HessianIndicator,
@@ -15,10 +11,12 @@ from repro.baselines import (
     hessian_top_eigenvalues,
     uniform_precision_plan,
 )
+from repro.common import GB, Precision, new_rng
+from repro.common.errors import InfeasiblePlanError
 from repro.core.qsync import build_replayer
-from repro.hardware import T4, V100, make_cluster_a
+from repro.hardware import T4, make_cluster_a
 from repro.models import make_mini_model, mini_model_graph
-from repro.profiling import MemoryModel, collect_model_stats
+from repro.profiling import collect_model_stats
 from repro.tensor import Tensor, functional as F
 
 

@@ -1,0 +1,36 @@
+"""Tier-1 smoke invocation of the lint benchmark.
+
+Runs ``benchmarks.bench_lint`` in its scaled-down mode so a rule that
+regresses to pathological wall time, a nondeterministic report, or a
+contract violation in the hot packages fails loudly in the normal test
+run.  The full-size benchmark (``python -m benchmarks.bench_lint``) is the
+one that reports the headline numbers to ``BENCH_lint.json``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_lint import run_bench
+
+
+def test_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_lint.json"
+    payload = run_bench(small=True, path=out)
+
+    assert payload["violations"] == 0, payload["violation_lines"]
+    assert payload["within_budget"], (
+        f"lint took {payload['wall_seconds']:.2f}s over the "
+        f"{payload['budget_seconds']}s budget"
+    )
+    assert payload["report_deterministic"]
+    assert payload["files"] > 10
+    assert list(payload["rules"]) == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+    ]
+
+    written = json.loads(out.read_text())
+    assert written["violations"] == 0
+    assert written["within_budget"] is True

@@ -1,10 +1,9 @@
 """Tests for the §VIII profiling-free structural indicator."""
 
-import numpy as np
 import pytest
 from scipy.stats import spearmanr
 
-from repro.common import Precision, new_rng
+from repro.common import Precision
 from repro.core.cheap_indicator import StructuralIndicator
 from repro.core.indicator import VarianceIndicator, gamma_for_loss
 from repro.experiments.protocol import collect_executable_stats

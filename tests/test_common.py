@@ -6,8 +6,8 @@ import pytest
 from repro.common import (
     GB,
     MB,
-    Precision,
     PRECISION_ORDER,
+    Precision,
     bytes_to_gb,
     bytes_to_mb,
     higher_precision,

@@ -1,6 +1,5 @@
 """Tests for the Predictor: indicator, DFGs, cost mapper, replayer, simulator."""
 
-import numpy as np
 import pytest
 
 from repro.backend import LPBackend
@@ -10,7 +9,6 @@ from repro.core import (
     GlobalDFG,
     GroundTruthSimulator,
     LocalDFG,
-    Replayer,
     VarianceIndicator,
     effective_precisions,
     grad_precision,
@@ -20,7 +18,7 @@ from repro.core.dfg import CommBucket, DFGNode, NodeKind, assign_buckets
 from repro.core.indicator import gamma_for_loss
 from repro.core.qsync import build_replayer
 from repro.graph.dag import PrecisionDAG
-from repro.hardware import T4, V100, make_cluster_a
+from repro.hardware import T4, make_cluster_a
 from repro.models import mini_model_graph
 from repro.profiling import CastCostCalculator, profile_operator_costs, synthesize_stats
 

@@ -2,7 +2,6 @@
 deltas, incremental re-planning through the full session path, and
 epoch-segmented simulation."""
 
-import math
 
 import pytest
 
@@ -11,11 +10,10 @@ from repro.common.units import GBPS
 from repro.engine import Perturbation, simulate_with_churn
 from repro.hardware import (
     A100,
-    Cluster,
-    ClusterEvent,
-    MembershipDelta,
     T4,
     V100,
+    Cluster,
+    ClusterEvent,
     Worker,
     apply_events,
     make_cloud_edge_cluster,

@@ -20,6 +20,7 @@ from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.backend import LPBackend
+from repro.baselines import DproReplayer
 from repro.common import Precision
 from repro.common.rng import derive_seed, new_rng
 from repro.core import CostMapper, GroundTruthSimulator
@@ -32,13 +33,12 @@ from repro.core.dfg import (
     bucket_readiness_from_stream,
 )
 from repro.core.replayer import Replayer, simulate_global_dfg
-from repro.baselines import DproReplayer
 from repro.engine import (
+    SCHEDULE_POLICIES,
     BlockingSyncPolicy,
     CatalogCostSource,
     DDPOverlapPolicy,
     Perturbation,
-    SCHEDULE_POLICIES,
     assemble_local_dfg,
     resolve_schedule_policy,
     run_engine,
@@ -47,7 +47,6 @@ from repro.engine.core import execute_global_dfg
 from repro.graph.dag import PrecisionDAG
 from repro.graph.ops import OperatorSpec, OpKind
 from repro.hardware import T4, V100, Cluster, Worker
-from repro.hardware.cluster import make_cluster_a
 from repro.models import mini_model_graph
 from repro.profiling import CastCostCalculator, profile_operator_costs
 from repro.session import PlanRequest, PlanSession

@@ -1,10 +1,8 @@
 """Tests for the experiment harness layer (base utilities, registry,
 protocol helpers, and the cheap experiments end-to-end)."""
 
-import numpy as np
 import pytest
 
-from repro.common import GB, Precision
 from repro.experiments import (
     EXPERIMENTS,
     ExperimentResult,

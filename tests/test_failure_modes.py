@@ -4,20 +4,20 @@ when handed broken inputs, not propagate garbage into plans or training."""
 import numpy as np
 import pytest
 
-from repro.common import GB, Precision, new_rng
+from repro.backend import LPBackend
+from repro.backend.kernels import KernelTemplate
+from repro.common import Precision, new_rng
 from repro.common.errors import (
     GraphConsistencyError,
     InfeasiblePlanError,
     KernelConfigError,
     UnsupportedPrecisionError,
 )
-from repro.backend import LPBackend
-from repro.backend.kernels import KernelTemplate
 from repro.core.dfg import CommBucket, LocalDFG
 from repro.core.qsync import qsync_plan
 from repro.graph.dag import PrecisionDAG
 from repro.graph.ops import OperatorSpec, OpKind
-from repro.hardware import T4, V100, make_cluster_b
+from repro.hardware import V100, make_cluster_b
 from repro.models import make_mini_model, mini_model_graph
 from repro.parallel import DataParallelTrainer, WorkerConfig
 from repro.tensor import Tensor
@@ -27,8 +27,6 @@ from repro.train import SGD
 
 class TestGraphFailures:
     def test_cycle_detected(self):
-        import networkx as nx
-
         dag = PrecisionDAG()
         dag.add_op(OperatorSpec("a", OpKind.INPUT, (1,)))
         dag.add_op(OperatorSpec("b", OpKind.RELU, (1,)), inputs=["a"])

@@ -6,8 +6,8 @@ from repro.common import Precision
 from repro.common.errors import GraphConsistencyError
 from repro.graph import (
     OpCategory,
-    OpKind,
     OperatorSpec,
+    OpKind,
     PrecisionDAG,
     group_blocks,
     structural_signature,

@@ -11,13 +11,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common import Precision, new_rng
+from repro.common.units import GBPS
 from repro.core import AllocatorConfig, qsync_plan
 from repro.core.dfg import CommBucket, DFGNode, GlobalDFG, LocalDFG, NodeKind, assign_buckets
 from repro.core.replayer import simulate_global_dfg
 from repro.graph.propagation import effective_precisions, output_precision
 from repro.hardware import T4, make_cluster_a
 from repro.hardware.cluster import Cluster, Worker
-from repro.common.units import GBPS
 from repro.models import (
     MODEL_GRAPHS,
     make_mini_model,

@@ -1,7 +1,6 @@
 """Additional coverage: PrecisionPlan, timeline rendering, DFG accounting,
 LinearCostModel edge behaviour, cluster describe/subsets."""
 
-import numpy as np
 import pytest
 
 from repro.common import Precision

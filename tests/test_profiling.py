@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.common import GB, Precision, new_rng
 from repro.backend import LPBackend
+from repro.common import GB, Precision, new_rng
 from repro.hardware import T4, V100
 from repro.models import make_mini_model, mini_model_graph, resnet50_graph
 from repro.profiling import (

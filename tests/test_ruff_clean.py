@@ -1,0 +1,38 @@
+"""Tier-1 hygiene gate: ruff must report a clean tree — when available.
+
+ruff is deliberately NOT a hard dependency (the minimal container ships
+without it), so this module skips itself when the import fails.  The
+configuration lives in ``pyproject.toml`` ``[tool.ruff]``; the selection
+is the pyflakes + pycodestyle-error + isort subset, with per-file ignores
+documented inline there.
+
+The DESIGN contracts proper are enforced by the in-repo invariant linter
+(``tests/test_lint_clean.py``), which has no third-party dependency and
+always runs.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("ruff")
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_ruff_reports_clean_tree():
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "ruff", "check",
+            "src", "tests", "benchmarks", "examples",
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"ruff found issues:\n{result.stdout}\n{result.stderr}"
+    )

@@ -6,17 +6,17 @@ import json
 
 import pytest
 
+from repro.common.dtypes import Precision
 from repro.common.stable_hash import (
     canonical_encode,
     stable_digest,
     stable_hash,
     stable_mod,
 )
-from repro.common.dtypes import Precision
 from repro.experiments import EXPERIMENTS, SCENARIOS, ExperimentResult
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.registry import ScenarioAxes
-from repro.experiments.sweep import ScenarioCell, ScenarioGrid, SweepRunner
+from repro.experiments.sweep import ScenarioGrid, SweepRunner
 
 CHEAP = ["fig4", "table1"]
 

@@ -9,14 +9,12 @@ from repro.tensor.modules import (
     BatchNorm2d,
     Conv2d,
     Embedding,
-    GlobalAvgPool2d,
+    Flatten,
     LayerNorm,
     Linear,
-    MaxPool2d,
     MultiHeadAttention,
-    Sequential,
     ReLU,
-    Flatten,
+    Sequential,
 )
 from repro.tensor.qmodules import PrecisionConfig, QuantizedOp
 

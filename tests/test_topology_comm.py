@@ -4,9 +4,9 @@ import pytest
 
 from repro.common.units import GBPS
 from repro.hardware import (
+    CLUSTER_PRESETS,
     T4,
     V100,
-    CLUSTER_PRESETS,
     Cluster,
     LinkSpec,
     NodeSpec,

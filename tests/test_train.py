@@ -6,11 +6,11 @@ import pytest
 from repro.common import new_rng
 from repro.models import make_mini_model
 from repro.tensor import Tensor, functional as F
-from repro.tensor.modules import Linear, Sequential, ReLU
+from repro.tensor.modules import Linear, Sequential
 from repro.train import (
+    SGD,
     Adam,
     CosineSchedule,
-    SGD,
     StepSchedule,
     WarmupSchedule,
     evaluate,

@@ -2,7 +2,6 @@
 catalog models, casting-model family completeness, stats probes."""
 
 import numpy as np
-import pytest
 
 from repro.backend import LPBackend, SecurityWrapper
 from repro.common import Precision, new_rng
