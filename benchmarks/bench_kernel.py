@@ -1,0 +1,191 @@
+"""Compiled-kernel speed: Eq. (6) array evaluation vs the analytic object path.
+
+Two headline numbers guard the PR 8 kernel tier:
+
+1. **Single evaluation** — ``Replayer.simulate()`` with the compiled kernel
+   (one ``repro.kernel.evaluate`` over frozen arrays) vs the analytic
+   object-path replay of the same state, on the mini-BERT ClusterA setup
+   ``bench_engine`` uses.  Target: >= 10x at full scale.
+2. **Batched what-if sweep** — ``Replayer.whatif_candidates`` evaluating a
+   window of single-op precision changes in one vectorized pass vs the
+   sequential apply -> simulate -> revert trial loop the allocator's
+   recovery used before batching.
+
+Both are only meaningful because they are *bit-identical*: the report
+records parity flags and ``float.hex`` checksums next to the speedups, and
+the tier-1 smoke (``tests/test_bench_kernel.py``) gates parity strictly
+while keeping the speed floors modest at smoke scale.
+
+Standalone: ``python -m benchmarks.bench_kernel [--small] [output.json]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.dtypes import higher_precision
+from repro.kernel import HAVE_NUMPY
+from repro.session import PlanRequest, PlanSession
+
+MODEL_NAME = "mini_bert"
+GRAPH_KW = {"batch_size": 8, "width_scale": 16, "spatial_scale": 8}
+SMALL_GRAPH_KW = {**GRAPH_KW, "width_scale": 8, "spatial_scale": 4}
+CLUSTER_PRESET = "cluster_a_4+4"
+
+
+def _time_calls(fn, calls: int, repeats: int = 5) -> float:
+    """Best-of-``repeats`` wall time for ``calls`` invocations of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _candidate_list(replayer, limit):
+    """Single-op precision changes on one training rank (the recovery
+    loop's shape): promote where possible, else the widest demotion."""
+    rank = min(replayer.dags)
+    dag = replayer.dags[rank]
+    out = []
+    for op in dag.adjustable_ops():
+        cur = dag.precision(op)
+        supported = dag.spec(op).supported_precisions()
+        nxt = higher_precision(cur)
+        if nxt in supported:
+            out.append((rank, op, nxt))
+        else:
+            demotions = [p for p in supported if p.bits < cur.bits]
+            if demotions:
+                out.append((rank, op, max(demotions, key=lambda p: p.bits)))
+        if len(out) == limit:
+            break
+    return out
+
+
+def _sequential_sweep(replayer, candidates):
+    """The pre-batching recovery trial: apply to every same-type rank,
+    simulate, read memory, revert.  Returns (throughput, memory) rows."""
+    by_rank = {w.rank: w.device.name for w in replayer.cluster.workers}
+    rows = []
+    for rank, op, target in candidates:
+        ranks = [
+            w.rank
+            for w in replayer.cluster.workers
+            if w.device.name == by_rank[rank]
+        ]
+        original = replayer.dags[rank].precision(op)
+        for r in ranks:
+            replayer.dags[r].set_precision(op, target)
+        sim = replayer.simulate()
+        mem = replayer.memory_estimate(rank).total
+        for r in ranks:
+            replayer.dags[r].set_precision(op, original)
+        rows.append((sim.throughput, mem))
+    return rows
+
+
+def run_bench(small: bool = False, path: str | Path = "BENCH_kernel.json") -> dict:
+    """Measure parity + speedups of the compiled kernel, write the report."""
+    if not HAVE_NUMPY:
+        raise RuntimeError("bench_kernel requires the numpy optional extra")
+    graph_kw = SMALL_GRAPH_KW if small else GRAPH_KW
+    calls = 50 if small else 300
+    n_cands = 16 if small else 64
+    ctx = PlanSession().prepare(
+        PlanRequest(
+            model=MODEL_NAME, model_kwargs=graph_kw, cluster=CLUSTER_PRESET,
+            profile_repeats=1 if small else 2,
+        )
+    )
+    replayer = ctx.replayer
+
+    # ---- single evaluation: kernel vs analytic object path -------------
+    replayer.use_kernel = True
+    sim_kernel = replayer.simulate()
+    kernel_sims = replayer.stats.kernel_sims
+    replayer.use_kernel = False
+    sim_object = replayer.simulate()
+    parity_single = sim_kernel == sim_object and kernel_sims > 0
+
+    replayer.use_kernel = True
+    t_kernel = _time_calls(replayer.simulate, calls)
+    replayer.use_kernel = False
+    t_object = _time_calls(replayer.simulate, calls)
+    replayer.use_kernel = True
+    single_speedup = t_object / t_kernel if t_kernel > 0 else float("inf")
+
+    # ---- batched what-if sweep vs sequential trials ---------------------
+    candidates = _candidate_list(replayer, n_cands)
+    batched = replayer.whatif_candidates(candidates)
+    sequential = _sequential_sweep(replayer, candidates)
+    parity_batched = batched is not None and all(
+        b[0] == s[0] and b[1] == s[1] for b, s in zip(batched, sequential)
+    ) and len(batched) == len(sequential)
+
+    t_batched = _time_calls(
+        lambda: replayer.whatif_candidates(candidates), 1, repeats=5
+    )
+    t_sequential = _time_calls(
+        lambda: _sequential_sweep(replayer, candidates), 1, repeats=5
+    )
+    batch_speedup = (
+        t_sequential / t_batched if t_batched > 0 else float("inf")
+    )
+
+    payload = {
+        "model": MODEL_NAME,
+        "graph_kw": graph_kw,
+        "cluster": CLUSTER_PRESET,
+        "parity_single": parity_single,
+        "parity_batched": parity_batched,
+        "single_eval": {
+            "calls": calls,
+            "kernel_seconds": t_kernel,
+            "object_seconds": t_object,
+            "speedup": single_speedup,
+        },
+        "batched_whatif": {
+            "candidates": len(candidates),
+            "batched_seconds": t_batched,
+            "sequential_seconds": t_sequential,
+            "speedup": batch_speedup,
+        },
+        "checksums": {
+            "iteration_time": sim_kernel.iteration_time.hex(),
+            "whatif_throughputs": [t.hex() for t, _ in (batched or [])],
+            "whatif_memory": [m for _, m in (batched or [])],
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return payload
+
+
+def main(argv: list[str]) -> int:
+    small = "--small" in argv
+    args = [a for a in argv if a != "--small"]
+    path = args[0] if args else "BENCH_kernel.json"
+    payload = run_bench(small=small, path=path)
+    single = payload["single_eval"]["speedup"]
+    batched = payload["batched_whatif"]["speedup"]
+    print(
+        f"parity: single={payload['parity_single']} "
+        f"batched={payload['parity_batched']}\n"
+        f"single-eval speedup: {single:.1f}x | "
+        f"batched what-if speedup: {batched:.1f}x -> {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

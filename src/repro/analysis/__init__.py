@@ -11,7 +11,7 @@ exact class of silent-staleness bug a diff-time checker catches before a
 sweep ever runs.
 
 This package is that checker: an AST-based, pluggable linter with one rule
-class per contract (``RPR001``–``RPR006``), a shared visitor framework, a
+class per contract (``RPR001``–``RPR007``), a shared visitor framework, a
 project-wide import graph built once per run, and per-line / per-file
 suppressions that *require* a written reason::
 
@@ -23,7 +23,7 @@ append-only — the same discipline it enforces on the registries it
 watches.
 """
 
-from repro.analysis import rules as _rules  # noqa: F401 - registers RPR001-006
+from repro.analysis import rules as _rules  # noqa: F401 - registers RPR001-007
 from repro.analysis.framework import (
     RULES,
     LintReport,

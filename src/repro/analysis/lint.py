@@ -27,7 +27,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description="AST-based invariant linter for the DESIGN contracts "
-        "(RPR001-RPR006).",
+        "(RPR001-RPR007).",
     )
     parser.add_argument(
         "paths",

@@ -1,4 +1,4 @@
-"""The DESIGN-contract rules, RPR001–RPR006.
+"""The DESIGN-contract rules, RPR001–RPR007.
 
 Each rule class mechanizes one ROADMAP "DESIGN" block; its docstring names
 the PR-era contract.  Registration order is the canonical report order and
@@ -26,6 +26,7 @@ __all__ = [
     "LayeringRule",
     "RegistryRule",
     "ImmutableRule",
+    "KernelBufferRule",
 ]
 
 
@@ -312,6 +313,7 @@ class LayeringRule(Rule):
         "graph": 1,
         "hardware": 1,
         "quant": 1,
+        "kernel": 1,
         "tensor": 2,
         "train": 3,
         "models": 3,
@@ -553,6 +555,145 @@ class ImmutableRule(Rule):
                     )
 
 
+class KernelBufferRule(Rule):
+    """RPR007 — compiled kernel buffers are frozen; never mutate in place.
+
+    Contract (PR 8, "compiled array kernel"): :mod:`repro.kernel` publishes
+    its compiled arrays with ``writeable=False`` because one
+    ``CompiledLocal``/``CompiledGlobal`` is shared by every simulate call
+    and every batched what-if row between fingerprint changes — an in-place
+    write would silently corrupt all of them while the bit-parity oracle
+    keeps passing on fresh compilations.  Consumers must treat anything a
+    ``repro.kernel`` entry point returns as immutable: no subscript stores,
+    no ``.flags``/``setflags`` unfreezing, and no handing the buffers to
+    ``out=`` parameters of array ops.  Derive fresh arrays instead (the
+    batch evaluator's ``candidate_row`` splice idiom).
+    """
+
+    id = "RPR007"
+    title = "no in-place mutation of compiled kernel buffers"
+    contract = "PR 8: compiled array kernel"
+
+    #: the kernel package itself builds the buffers it later freezes.
+    SCOPE_EXEMPT = ("repro.kernel",)
+
+    def _in_scope(self, module: str) -> bool:
+        return not any(
+            module == p or module.startswith(p + ".") for p in self.SCOPE_EXEMPT
+        )
+
+    @staticmethod
+    def _tracked_names(mod: ModuleInfo, aliases: dict[str, str]) -> set[str]:
+        """Names bound (anywhere) from a ``repro.kernel`` entry-point call."""
+        tracked: set[str] = set()
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            origin = _resolve_call(node.value.func, aliases)
+            if origin is None or not (
+                origin == "repro.kernel" or origin.startswith("repro.kernel.")
+            ):
+                continue
+            for target in node.targets:
+                elts = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for elt in elts:
+                    if isinstance(elt, ast.Name):
+                        tracked.add(elt.id)
+        return tracked
+
+    def check_module(
+        self, mod: ModuleInfo, project: Project
+    ) -> Iterable[Violation]:
+        if not self._in_scope(mod.module):
+            return
+        aliases = _import_aliases(mod)
+        tracked = self._tracked_names(mod, aliases)
+        if not tracked:
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if _chain_root(target) not in tracked:
+                        continue
+                    if isinstance(target, ast.Subscript):
+                        yield mod.violation(
+                            node,
+                            self.id,
+                            "subscript store into a compiled kernel buffer; "
+                            "the arrays are frozen and shared — build a "
+                            "fresh array (PR 8)",
+                        )
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and _chain_has_attr(target, "flags")
+                    ):
+                        yield mod.violation(
+                            node,
+                            self.id,
+                            ".flags writes unfreeze a published kernel "
+                            "buffer; recompile instead of mutating (PR 8)",
+                        )
+                    elif isinstance(node, ast.AugAssign) and isinstance(
+                        target, ast.Attribute
+                    ):
+                        yield mod.violation(
+                            node,
+                            self.id,
+                            "augmented assignment mutates a compiled kernel "
+                            "buffer in place; derive a fresh array (PR 8)",
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "setflags"
+                    and _chain_root(node.func.value) in tracked
+                ):
+                    yield mod.violation(
+                        node,
+                        self.id,
+                        "setflags() unfreezes a published kernel buffer; "
+                        "recompile instead of mutating (PR 8)",
+                    )
+                    continue
+                for kw in node.keywords:
+                    if kw.arg == "out" and _chain_root(kw.value) in tracked:
+                        yield mod.violation(
+                            node,
+                            self.id,
+                            "out= targets a compiled kernel buffer; array "
+                            "ops must allocate their result (PR 8)",
+                        )
+
+
+def _chain_root(node: ast.expr) -> str | None:
+    """Root ``Name`` id of an attribute/subscript chain, else ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _chain_has_attr(node: ast.expr, attr: str) -> bool:
+    """True if any attribute access in the chain is named ``attr``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr == attr:
+            return True
+        node = node.value
+    return False
+
+
 def _chain_contains_template(node: ast.expr) -> bool:
     """True if the *receiver* chain of an attribute/subscript store passes
     through something called ``template`` (``ctx.template.x = ...``,
@@ -577,3 +718,4 @@ register_rule(RankIndexRule())
 register_rule(LayeringRule())
 register_rule(RegistryRule())
 register_rule(ImmutableRule())
+register_rule(KernelBufferRule())

@@ -58,6 +58,15 @@ class AllocatorConfig:
     #: the recovery heaps — the "throughput-maximum case" where the recovery
     #: target shifts from the inference GPUs to the training GPUs.
     amp_mode: bool = False
+    #: Batch recovery candidates into one compiled-kernel what-if sweep
+    #: (PR 8) when the replayer's kernel tier is available.  The
+    #: accept/reject sequence — and therefore the final plan, attempt and
+    #: accept counts — is bit-identical to the sequential loop: rejects
+    #: against the current base are final, and the first accept in a
+    #: window sends the rest of the window back to the heap.
+    batched_recovery: bool = True
+    #: Candidates per batched sweep window.
+    recovery_batch: int = 16
 
 
 @dataclasses.dataclass
@@ -77,6 +86,9 @@ class AllocationReport:
     recovery_full_rebuilds: int = 0
     recovery_incremental_updates: int = 0
     simulate_calls: int = 0
+    #: Candidates evaluated through the batched what-if kernel sweep
+    #: instead of a full simulate() each (0 = sequential recovery).
+    recovery_whatif_evals: int = 0
 
     def summary(self) -> str:
         return (
@@ -361,31 +373,96 @@ class Allocator:
         rebuilds_before = self.replayer.full_rebuilds()
         deltas_before = self.replayer.incremental_updates()
         sims_before = self.replayer.stats.simulate_calls
+        whatifs_before = self.replayer.stats.whatif_evals
+
+        # Batched recovery (PR 8): evaluate a window of candidates in one
+        # compiled-kernel what-if sweep instead of one simulate() each.
+        # Equivalence discipline keeping the accept/reject sequence — and
+        # the plan — bit-identical to the sequential loop: a reject against
+        # the current base is final either way (the sequential trial
+        # restores the state it mutated), while the first accept in a
+        # window invalidates the remaining verdicts, so those candidates
+        # return to the heap before the next window is drawn.
+        batch_width = 1
+        if (
+            self.config.batched_recovery
+            and self.replayer.compiled_global() is not None
+        ):
+            batch_width = max(1, self.config.recovery_batch)
 
         while heap and attempts < self.config.max_recovery_steps:
-            neg_dec, _, name, op = heapq.heappop(heap)
-            ranks = type_ranks[name]
-            dag = self.replayer.dags[ranks[0]]
-            device = self._device_for_type(name)
-            indicator = self.indicators[name]
-            current = plans[name][op]
-            target = self._next_supported(dag, device, op, current)
-            if target is None:
-                continue
-            attempts += 1
-            # One-op delta instead of re-applying the whole plan: the DAGs'
-            # dirty logs then carry exactly this op into the replay engine.
-            self._set_op(ranks, op, target)
-            sim = self.replayer.simulate()
-            if self._memory_ok() and sim.throughput >= threshold:
-                plans[name][op] = target
-                accepted += 1
-                entry = self._heap_entry(dag, device, indicator, op, target, tiebreak)
-                if entry is not None:
-                    heapq.heappush(heap, (*entry[:2], name, entry[2]))
-            else:
-                # Revert the single op.
-                self._set_op(ranks, op, current)
+            # Draw a window; entries with no next precision are consumed
+            # without counting an attempt, exactly as before.
+            window: list[tuple[tuple, Precision, Precision]] = []
+            while heap and len(window) < batch_width:
+                entry = heapq.heappop(heap)
+                _, _, name, op = entry
+                ranks = type_ranks[name]
+                dag = self.replayer.dags[ranks[0]]
+                device = self._device_for_type(name)
+                current = plans[name][op]
+                target = self._next_supported(dag, device, op, current)
+                if target is None:
+                    continue
+                window.append((entry, current, target))
+            if not window:
+                break
+            verdicts: list[bool] | None = None
+            if batch_width > 1:
+                results = self.replayer.whatif_candidates(
+                    [
+                        (type_ranks[entry[2]][0], entry[3], target)
+                        for entry, _, target in window
+                    ]
+                )
+                if results is not None:
+                    verdicts = [
+                        throughput >= threshold
+                        and mem
+                        <= self._device_for_type(entry[2]).available_memory
+                        for (throughput, mem), (entry, _, _) in zip(
+                            results, window
+                        )
+                    ]
+            for i, (entry, current, target) in enumerate(window):
+                if attempts >= self.config.max_recovery_steps:
+                    for later, _, _ in window[i:]:
+                        heapq.heappush(heap, later)
+                    break
+                _, _, name, op = entry
+                ranks = type_ranks[name]
+                attempts += 1
+                if verdicts is None:
+                    # One-op delta instead of re-applying the whole plan:
+                    # the DAGs' dirty logs then carry exactly this op into
+                    # the replay engine.
+                    self._set_op(ranks, op, target)
+                    sim = self.replayer.simulate()
+                    ok = self._memory_ok() and sim.throughput >= threshold
+                    if not ok:
+                        # Revert the single op.
+                        self._set_op(ranks, op, current)
+                else:
+                    ok = verdicts[i]
+                    if ok:
+                        self._set_op(ranks, op, target)
+                if ok:
+                    plans[name][op] = target
+                    accepted += 1
+                    dag = self.replayer.dags[ranks[0]]
+                    device = self._device_for_type(name)
+                    indicator = self.indicators[name]
+                    fresh = self._heap_entry(
+                        dag, device, indicator, op, target, tiebreak
+                    )
+                    if fresh is not None:
+                        heapq.heappush(heap, (*fresh[:2], name, fresh[2]))
+                    if i + 1 < len(window):
+                        # The remaining verdicts predate this accept:
+                        # re-enter the candidates and re-draw the window.
+                        for later, _, _ in window[i + 1 :]:
+                            heapq.heappush(heap, later)
+                        break
 
         final_sim = self.replayer.simulate()
         report = AllocationReport(
@@ -401,6 +478,9 @@ class Allocator:
                 self.replayer.incremental_updates() - deltas_before
             ),
             simulate_calls=self.replayer.stats.simulate_calls - sims_before,
+            recovery_whatif_evals=(
+                self.replayer.stats.whatif_evals - whatifs_before
+            ),
         )
         return PrecisionPlan(assignments=plans), report
 

@@ -34,6 +34,7 @@ graph structure and are computed once.  Equivalence with a from-scratch
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 
 from repro.common.dtypes import Precision
@@ -53,6 +54,7 @@ from repro.graph.propagation import (  # noqa: F401 - canonical re-export
     output_precision,
     propagate_dirty,
 )
+from repro.kernel import LocalLayout
 from repro.profiling.casting import CastCostCalculator
 from repro.profiling.memory import op_memory_contribution
 from repro.profiling.profiler import OperatorCostCatalog
@@ -209,6 +211,36 @@ class _MapperState:
             if node.kind is NodeKind.BACKWARD:
                 pos = i
         self.bwd_pos[name] = pos
+
+
+@dataclasses.dataclass(frozen=True)
+class WhatIfChange:
+    """A hypothetical single-op precision change, described as replacement
+    values against the mapper's current base — never applied to the DAG.
+
+    ``fwd_sums``/``bwd_sums``/``bwd_durs``/``bwd_pos`` cover exactly the
+    affected neighbourhood the sequential path would re-derive (changed
+    cone + one-hop neighbours + the op itself); every float is computed by
+    the same segment functions and Python ``sum`` order as
+    :meth:`_MapperState.set_segments`, so splicing them into a compiled
+    base (:func:`repro.kernel.candidate_row`) is bit-identical to apply +
+    rebuild + revert.  The memory totals mirror
+    :meth:`CostMapper.memory_components` after the change.
+    """
+
+    op: str
+    precision: Precision
+    #: op -> new forward-segment duration sum.
+    fwd_sums: dict[str, float]
+    #: op -> new backward-segment duration sum.
+    bwd_sums: dict[str, float]
+    #: op -> new backward node durations, in stream order.
+    bwd_durs: dict[str, tuple]
+    #: op -> BACKWARD-node offset within the segment, -1 when none.
+    bwd_pos: dict[str, int]
+    wcopy_total: int
+    act_total: int
+    workspace: int
 
 
 class CostMapper:
@@ -465,6 +497,112 @@ class CostMapper:
         assert state is not None
         top2 = heapq.nlargest(2, state.mem_act.values())
         return state.mem_wcopy_total, state.mem_act_total, int(sum(top2))
+
+    # ------------------------------------------------------------------
+    # kernel lowering support (repro.kernel; ROADMAP open item 4)
+    # ------------------------------------------------------------------
+    def kernel_layout(self) -> LocalLayout:
+        """The per-op stream layout of the current state, for
+        :func:`repro.kernel.compile_local`.
+
+        Plain Python data in the exact orders :meth:`_assemble` consumes —
+        forward sums in topological order, backward segment metadata in
+        reverse topological order, plus the weighted-op positions whose
+        consecutive slices are the gradient buckets.
+        """
+        self.refresh()
+        state = self._state
+        assert state is not None
+        topo = self.dag.topo_order()
+        rev_ops = tuple(reversed(topo))
+        weighted = self._weighted_set()
+        return LocalLayout(
+            rev_ops=rev_ops,
+            seg_lens=tuple(len(state.bwd_segs[n]) for n in rev_ops),
+            bwd_pos=tuple(
+                -1 if state.bwd_pos[n] is None else state.bwd_pos[n]
+                for n in rev_ops
+            ),
+            fwd_sums_topo=tuple(state.fwd_durs[n] for n in topo),
+            bwd_sums=tuple(state.bwd_durs[n] for n in rev_ops),
+            weighted=tuple(
+                i for i, n in enumerate(rev_ops) if n in weighted
+            ),
+        )
+
+    def whatif_change(self, op: str, new_precision: Precision) -> WhatIfChange:
+        """Describe a single-op precision change without applying it.
+
+        The mutation-free twin of :meth:`apply_change`: the hypothetical
+        assignment is resolved against a scratch copy of the effective
+        precisions (``propagate_dirty`` with an override, the DAG version
+        untouched), and the affected neighbourhood's segments and memory
+        contributions are re-derived through the very same module-level
+        pricing functions the sequential path runs — so a kernel splice of
+        the result is bit-identical to apply + simulate + revert.
+        """
+        spec = self.dag.spec(op)
+        if not spec.is_adjustable:
+            raise ValueError(f"operator {op!r} is not precision-adjustable")
+        if new_precision not in spec.supported_precisions():
+            raise ValueError(f"{op!r} has no {new_precision.value} kernel")
+        self.refresh()
+        state = self._state
+        assert state is not None
+        effective = dict(state.effective)
+        changed = propagate_dirty(
+            self.dag, effective, {op}, overrides={op: new_precision}
+        )
+        affected = set(changed)
+        for name in changed:
+            affected.update(self.dag.successors(name))
+            affected.update(self.dag.predecessors(name))
+        affected.add(op)
+        fwd_sums: dict[str, float] = {}
+        bwd_sums: dict[str, float] = {}
+        bwd_durs: dict[str, tuple] = {}
+        bwd_pos: dict[str, int] = {}
+        wcopy_total = state.mem_wcopy_total
+        act_total = state.mem_act_total
+        act_new: dict[str, int] = {}
+        for name in sorted(affected):
+            fwd = catalog_forward_segment(
+                self.dag, self.catalog, self.cast_calc, name, effective
+            )
+            bwd = catalog_backward_segment(
+                self.dag, self.catalog, self.cast_calc, name, effective
+            )
+            fwd_sums[name] = sum(node.duration for node in fwd)
+            bwd_sums[name] = sum(node.duration for node in bwd)
+            bwd_durs[name] = tuple(node.duration for node in bwd)
+            pos = -1
+            for i, node in enumerate(bwd):
+                if node.kind is NodeKind.BACKWARD:
+                    pos = i
+            bwd_pos[name] = pos
+            assigned = (
+                new_precision if name == op else self.dag.precision(name)
+            )
+            wcopy, act = op_memory_contribution(
+                self.dag.spec(name), assigned, effective[name]
+            )
+            wcopy_total += wcopy - state.mem_wcopy[name]
+            act_total += act - state.mem_act[name]
+            act_new[name] = act
+        merged_act = dict(state.mem_act)
+        merged_act.update(act_new)
+        workspace = int(sum(heapq.nlargest(2, merged_act.values())))
+        return WhatIfChange(
+            op=op,
+            precision=new_precision,
+            fwd_sums=fwd_sums,
+            bwd_sums=bwd_sums,
+            bwd_durs=bwd_durs,
+            bwd_pos=bwd_pos,
+            wcopy_total=wcopy_total,
+            act_total=act_total,
+            workspace=workspace,
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 1: incremental change

@@ -35,9 +35,14 @@ class Stream(enum.Enum):
     COMM = "comm"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class DFGNode:
-    """One schedulable unit of work on a device stream."""
+    """One schedulable unit of work on a device stream.
+
+    Slotted: the object paths allocate these by the hundred thousand per
+    planning run (every segment re-derivation builds fresh nodes), and the
+    compiled kernel (:mod:`repro.kernel`) reads ``duration`` off each one
+    exactly once at lowering time."""
 
     name: str
     kind: NodeKind

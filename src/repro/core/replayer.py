@@ -23,9 +23,17 @@ from repro.common.dtypes import Precision
 from repro.core.cost_mapper import CostMapper
 from repro.core.dfg import GlobalDFG, LocalDFG
 from repro.engine.perturbation import Perturbation  # repro: allow RPR004 dispatch tiers (PR 5): the Replayer validates policy/perturbation kwargs at construction, before any engine run
-from repro.engine.policy import SchedulePolicy, resolve_schedule_policy  # repro: allow RPR004 dispatch tiers (PR 5): non-default policies route through the engine; the engine itself never imports core's Replayer
+from repro.engine.policy import DDPOverlapPolicy, SchedulePolicy, resolve_schedule_policy  # repro: allow RPR004 dispatch tiers (PR 5): non-default policies route through the engine; the engine itself never imports core's Replayer
 from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import Cluster
+from repro.kernel import (
+    compile_global,
+    compile_local,
+    evaluate as kernel_evaluate,
+    candidate_row as kernel_candidate_row,
+    simulate_batch as kernel_simulate_batch,
+    HAVE_NUMPY,
+)
 from repro.parallel.comm_model import CollectiveModel, resolve_collective_model
 from repro.profiling.casting import CastCostCalculator
 from repro.profiling.memory import MemoryEstimate, MemoryModel
@@ -55,6 +63,14 @@ class ReplayerStats:
     local_shared_hits: int = 0
     memory_evals: int = 0
     memory_cache_hits: int = 0
+    #: simulate() calls served by the compiled array kernel (PR 8).
+    kernel_sims: int = 0
+    #: Candidates evaluated through the batched what-if kernel sweep.
+    whatif_evals: int = 0
+
+
+#: Hot-cache "no entry" marker (None is a real cached verdict there).
+_MISS = object()
 
 
 @dataclasses.dataclass
@@ -98,6 +114,14 @@ class Replayer:
         Optional deterministic straggler/bandwidth-drift injection
         (:class:`repro.engine.Perturbation`); also routed through the
         engine.
+    use_kernel:
+        Compiled-array-kernel dispatch tier (:mod:`repro.kernel`).
+        ``None`` (the default) enables it when numpy is importable;
+        ``True`` requests it (still subject to numpy availability and
+        incremental mode); ``False`` pins the object path.  The kernel is
+        bit-identical to the analytic Eq. (6) fast path and only serves
+        the same calls that path would (default policy, no perturbation,
+        no timeline).
     """
 
     def __init__(
@@ -112,6 +136,7 @@ class Replayer:
         collective_model: CollectiveModel | str | None = None,
         schedule_policy: SchedulePolicy | str | None = None,
         perturbation: Perturbation | None = None,
+        use_kernel: bool | None = None,
     ) -> None:
         self.cluster = cluster
         self.collective_model = resolve_collective_model(collective_model)
@@ -138,6 +163,32 @@ class Replayer:
         # (structurally identical DAGs with equal signatures have identical
         # footprints, device-independent)
         self._mem_sig_cache: dict[tuple, MemoryEstimate] = {}
+        self.use_kernel = (
+            HAVE_NUMPY if use_kernel is None else bool(use_kernel) and HAVE_NUMPY
+        )
+        # device type -> (precision signature, structure fingerprint,
+        # CompiledLocal | None) — keyed exactly like _type_dfg_cache; None
+        # is a cached "not lowerable" verdict so failures don't retry.
+        self._kernel_local_cache: dict[str, tuple[tuple, int, object]] = {}
+        # (per-type (name, sig, fingerprint) tuple) -> CompiledGlobal
+        self._kernel_global_cache: tuple[tuple, object] | None = None
+        # per-type bucket-size tuples -> priced per-bucket durations; the
+        # pricing itself always goes through bucket_comm_durations so the
+        # kernel and analytic tiers cannot drift.  Both pricing caches are
+        # dropped when collective_model is swapped out (identity-checked in
+        # compiled_global — the analytic path reprices every call).
+        self._comm_price_cache: dict[tuple, list[float]] = {}
+        self._priced_model: CollectiveModel = self.collective_model
+        # O(ranks) fast-path revalidation for the simulate() hot loop: the
+        # exact (cluster, collective model, per-DAG version snapshot) the
+        # cached CompiledGlobal was last validated against, plus the
+        # evaluated per-rank result dicts (evaluate() is pure, so they are
+        # constant per compilation).  ``_hot_cache`` additionally carries
+        # the assembled memory dict and the CompiledGlobal (or None — a
+        # cached "won't lower" verdict) for one simulate() list-compare.
+        self._kernel_fast: tuple | None = None
+        self._kernel_result_cache: tuple | None = None
+        self._hot_cache: tuple | None = None
         for worker in cluster.workers:
             rank = worker.rank
             self.mappers[rank] = CostMapper(
@@ -251,6 +302,203 @@ class Replayer:
         return GlobalDFG([self.local_dfg(w.rank) for w in self.cluster.workers])
 
     # ------------------------------------------------------------------
+    # compiled array kernel tier (repro.kernel; PR 8)
+    # ------------------------------------------------------------------
+    def _compiled_local(self, rank: int):
+        """The rank's type-shared :class:`repro.kernel.CompiledLocal`.
+
+        Keyed exactly like ``_type_dfg_cache`` — precision signature +
+        structure fingerprint per device type — including a cached ``None``
+        verdict for DFGs that refuse to lower, so failures don't retry on
+        every call.
+        """
+        worker = self._workers_by_rank[rank]
+        tname = worker.device.name
+        dag = self.dags[rank]
+        sig = dag.precision_signature()
+        fingerprint = dag.structure_fingerprint()
+        entry = self._kernel_local_cache.get(tname)
+        if entry is not None and entry[0] == sig and entry[1] == fingerprint:
+            return entry[2]
+        dfg = self.local_dfg(rank)
+        compiled = compile_local(dfg, self.mappers[rank].kernel_layout())
+        self._kernel_local_cache[tname] = (sig, fingerprint, compiled)
+        return compiled
+
+    def _dag_versions(self) -> list:
+        """Identity + mutation-counter snapshot of every rank's DAG — the
+        O(ranks) revalidation key for the kernel fast path (version counters
+        are monotone, so a mutate-and-revert cycle never replays a key).
+        Reads the counters' backing fields directly: this runs on every
+        simulate() and the property indirection is measurable there."""
+        out: list = []
+        append = out.append
+        for dag in self.dags.values():
+            append(dag)
+            append(dag._version)
+            append(dag._structure_version)
+        return out
+
+    def compiled_global(self, _versions: list | None = None):
+        """The compiled representation of the current global DFG, or None.
+
+        ``None`` whenever the kernel tier cannot serve bit-identically:
+        numpy missing or the tier disabled, non-incremental mode, a local
+        that refuses to lower, or same-type ranks whose DFGs have diverged
+        (the per-type compilation assumes shared plans, like the type DFG
+        cache).  Callers fall back to the object path.
+        """
+        if not (self.use_kernel and self.incremental):
+            return None
+        versions = self._dag_versions() if _versions is None else _versions
+        fast = self._kernel_fast
+        if (
+            fast is not None
+            and fast[0] is self.cluster
+            and fast[1] is self.collective_model
+            and fast[2] == versions
+        ):
+            return fast[3]
+        if self._priced_model is not self.collective_model:
+            # collective_model was swapped (e.g. topology experiments):
+            # every priced duration is stale, so reprice from scratch.
+            self._comm_price_cache.clear()
+            self._kernel_global_cache = None
+            self._priced_model = self.collective_model
+        reps: dict[str, int] = {}
+        order: list[str] = []
+        shared: dict[str, LocalDFG] = {}
+        locals_: list[LocalDFG] = []
+        for w in self.cluster.workers:
+            dfg = self.local_dfg(w.rank)
+            locals_.append(dfg)
+            tname = w.device.name
+            ref = shared.get(tname)
+            if ref is None:
+                reps[tname] = w.rank
+                order.append(tname)
+                shared[tname] = dfg
+            elif ref is not dfg and (
+                ref.forward is not dfg.forward
+                or ref.backward is not dfg.backward
+                or ref.buckets is not dfg.buckets
+            ):
+                return None  # same-type ranks diverged: object path
+        by_type: dict[str, object] = {}
+        key_parts = []
+        for tname in order:
+            cl = self._compiled_local(reps[tname])
+            if cl is None:
+                return None
+            by_type[tname] = cl
+            entry = self._kernel_local_cache[tname]
+            key_parts.append((tname, entry[0], entry[1]))
+        gkey = tuple(key_parts)
+        cached = self._kernel_global_cache
+        if cached is not None and cached[0] == gkey:
+            self._kernel_fast = (
+                self.cluster, self.collective_model, versions, cached[1]
+            )
+            return cached[1]
+        size_key = tuple(by_type[tname].bucket_nbytes for tname in order)
+        durs = self._comm_price_cache.get(size_key)
+        if durs is None:
+            durs = bucket_comm_durations(
+                locals_, self.cluster, self.collective_model
+            )
+            self._comm_price_cache[size_key] = durs
+        cg = compile_global(
+            [(w.rank, by_type[w.device.name]) for w in self.cluster.workers],
+            durs,
+        )
+        if cg is None:
+            return None
+        self._kernel_global_cache = (gkey, cg)
+        self._kernel_fast = (self.cluster, self.collective_model, versions, cg)
+        return cg
+
+    def _kernel_result(self, cg, memory) -> SimulationResult:
+        """One Eq. (6) evaluation on the compiled arrays."""
+        cached = self._kernel_result_cache
+        if cached is not None and cached[0] is cg:
+            _, iteration, per_device_compute, comm_wait = cached
+        else:
+            iteration, comm_end = kernel_evaluate(cg)
+            per_device_compute = {}
+            comm_wait = {}
+            for w in self.cluster.workers:
+                cl = cg.locals[cg.local_of_rank[w.rank]]
+                # compute_end + opt is the object path's compute_time
+                # addition order ((fwd + bwd) + opt) — bit-identical by
+                # construction.
+                per_device_compute[w.rank] = cl.compute_end + cl.opt
+                comm_wait[w.rank] = max(0.0, comm_end - cl.compute_end)
+            self._kernel_result_cache = (
+                cg, iteration, per_device_compute, comm_wait
+            )
+        # The per-rank dicts are shared across results of one compilation
+        # (results are read-only by the same convention as published DFGs);
+        # a fresh SimulationResult still wraps them per call.
+        return SimulationResult(
+            iteration_time=iteration,
+            per_device_compute=per_device_compute,
+            comm_wait_time=comm_wait,
+            memory=memory or {},
+            timeline=[],
+        )
+
+    def whatif_candidates(self, candidates):
+        """Evaluate ``(rank, op, target)`` what-ifs in one batched sweep.
+
+        The allocator's recovery hot loop: each candidate is described
+        mutation-free by :meth:`CostMapper.whatif_change`, spliced into the
+        compiled base by :func:`repro.kernel.candidate_row`, and the whole
+        batch plays Eq. (6) in one :func:`repro.kernel.simulate_batch`
+        call.  Returns one ``(throughput, memory_total_bytes)`` pair per
+        candidate — bit-identical to apply + ``simulate()`` + revert — or
+        ``None`` when the kernel tier cannot serve the batch (callers fall
+        back to the sequential path).  The DAGs are never touched.
+        """
+        if not candidates:
+            return []
+        cg = self.compiled_global()
+        if cg is None:
+            return None
+        rows = []
+        local_indices = []
+        compute_ends = []
+        mem_totals = []
+        for rank, op, target in candidates:
+            cl = cg.locals[cg.local_of_rank[rank]]
+            change = self.mappers[rank].whatif_change(op, target)
+            rc = kernel_candidate_row(cl, change)
+            if rc is None:
+                return None
+            row, compute_end = rc
+            rows.append(row)
+            local_indices.append(cg.local_of_rank[rank])
+            compute_ends.append(compute_end)
+            # Mirrors memory_estimate()'s MemoryEstimate.total (all-int).
+            weights = (
+                self.dags[rank].total_weight_elems() * Precision.FP32.nbytes
+            )
+            mem_totals.append(
+                weights
+                + change.wcopy_total
+                + weights
+                + self.memory_model.optimizer_slots * weights
+                + change.act_total
+                + change.workspace
+            )
+        iterations = kernel_simulate_batch(cg, rows, local_indices, compute_ends)
+        self.stats.whatif_evals += len(rows)
+        results = []
+        for iteration, mem in zip(iterations.tolist(), mem_totals):
+            throughput = 1.0 / iteration if iteration > 0 else float("inf")
+            results.append((throughput, mem))
+        return results
+
+    # ------------------------------------------------------------------
     def simulate(
         self,
         collect_timeline: bool = False,
@@ -261,22 +509,59 @@ class Replayer:
 
         ``schedule_policy``/``perturbation`` override the instance defaults
         for this call only.  The default DDP-overlap schedule without a
-        timeline stays on the analytic Eq. (6) fast path (the allocator hot
-        loop); timeline collection, alternative policies, and perturbations
-        run through the discrete-event engine — bit-identical on the
-        default policy.
+        timeline stays on the Eq. (6) fast path (the allocator hot loop) —
+        served by the compiled array kernel when available, the analytic
+        object recurrence otherwise, bit-identical either way; timeline
+        collection, alternative policies, and perturbations run through
+        the discrete-event engine — bit-identical on the default policy.
         """
         self.stats.simulate_calls += 1
-        gdfg = self.build_global_dfg()
-        memory = {
-            w.rank: self.memory_estimate(w.rank) for w in self.cluster.workers
-        }
+        versions = None
+        memory = None
+        hot_cg = _MISS
+        if self.use_kernel and self.incremental:
+            versions = self._dag_versions()
+            hot = self._hot_cache
+            if (
+                hot is not None
+                and hot[0] is self.cluster
+                and hot[1] is self.collective_model
+                and hot[2] == versions
+            ):
+                memory = hot[3]
+                hot_cg = hot[4]
+        if memory is None:
+            memory = {
+                w.rank: self.memory_estimate(w.rank)
+                for w in self.cluster.workers
+            }
         policy = (
             self.schedule_policy
             if schedule_policy is None
             else resolve_schedule_policy(schedule_policy)
         )
         pert = self.perturbation if perturbation is None else perturbation
+        # Kernel tier: exactly the calls execute_global_dfg would route to
+        # the analytic fast path (same guard), minus anything the compiled
+        # representation can't serve (then the kernel declines and the
+        # object path runs).
+        if (
+            not collect_timeline
+            and (pert is None or pert.is_noop)
+            and type(policy) is DDPOverlapPolicy
+        ):
+            cg = hot_cg
+            if cg is _MISS:
+                cg = self.compiled_global(versions)
+                if versions is not None:
+                    self._hot_cache = (
+                        self.cluster, self.collective_model,
+                        versions, memory, cg,
+                    )
+            if cg is not None:
+                self.stats.kernel_sims += 1
+                return self._kernel_result(cg, memory)
+        gdfg = self.build_global_dfg()
         # One dispatcher owns the analytic-vs-engine choice.
         from repro.engine.core import execute_global_dfg
 
@@ -331,15 +616,34 @@ def bucket_comm_durations(
     In synchronous data parallelism every rank's bucket ``n`` holds the
     same gradients, so the historical per-rank re-pricing of an identical
     collective was pure waste; one call per distinct byte count yields the
-    same max bit-for-bit.  Shared by the analytic Eq. (6) path and the
-    discrete-event engine's COMM events so their pricing cannot drift.
+    same max bit-for-bit.  Shared by the analytic Eq. (6) path, the
+    compiled kernel tier, and the discrete-event engine's COMM events so
+    their pricing cannot drift.
+
+    Two short-circuits, both value-preserving: when every local shares one
+    bucket list object (the ``view_for_rank`` common case) the per-bucket
+    size set collapses to the reference bucket's own size without scanning
+    ranks, and each distinct byte count is priced at most once across the
+    whole call (``allreduce_time`` is a pure function of cluster + size).
     """
+    ref = locals_[0].buckets
+    all_shared = all(ldfg.buckets is ref for ldfg in locals_)
+    price: dict[int, float] = {}
     durations: list[float] = []
-    for n in range(len(locals_[0].buckets)):
-        sizes = {ldfg.buckets[n].nbytes for ldfg in locals_}
-        durations.append(
-            max(comm_model.allreduce_time(cluster, nbytes) for nbytes in sizes)
-        )
+    for n in range(len(ref)):
+        if all_shared:
+            sizes: tuple[int, ...] | set[int] = (ref[n].nbytes,)
+        else:
+            sizes = {ldfg.buckets[n].nbytes for ldfg in locals_}
+        slowest: float | None = None
+        for nbytes in sizes:
+            dur = price.get(nbytes)
+            if dur is None:
+                dur = comm_model.allreduce_time(cluster, nbytes)
+                price[nbytes] = dur
+            if slowest is None or dur > slowest:
+                slowest = dur
+        durations.append(slowest)
     return durations
 
 

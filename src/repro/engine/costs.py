@@ -316,18 +316,28 @@ def assemble_local_dfg(
     dag = source.dag
     topo = dag.topo_order()
     dfg = LocalDFG(device_name, rank)
+    # Build the streams as plain lists and install them in one shot
+    # (load_streams): same node order and the same sequential left-to-right
+    # duration sums as repeated add_* calls, so totals stay bit-identical,
+    # without paying per-node cache invalidation.
+    forward: list[DFGNode] = []
+    fwd_total = 0.0
     for name in topo:
         for node in source.forward_segment(name):
-            dfg.add_forward(node)
+            forward.append(node)
+            fwd_total += node.duration
 
+    backward: list[DFGNode] = []
+    bwd_total = 0.0
     anchors: dict[str, int] = {}
     weighted_rev: list[tuple[str, int]] = []
     for name in reversed(topo):
-        base = len(dfg.backward)
+        base = len(backward)
         seg = source.backward_segment(name)
         pos = None
         for i, node in enumerate(seg):
-            dfg.add_backward(node)
+            backward.append(node)
+            bwd_total += node.duration
             if node.kind is NodeKind.BACKWARD:
                 pos = i
         spec = dag.spec(name)
@@ -335,6 +345,7 @@ def assemble_local_dfg(
             anchors[name] = base + pos if pos is not None else base + len(seg) - 1
             weighted_rev.append((name, spec.weight_elems * Precision.FP32.nbytes))
 
+    dfg.load_streams(forward, backward, fwd_total, bwd_total)
     buckets = assign_buckets(weighted_rev, bucket_cap_bytes)
     dfg.set_buckets(
         buckets, bucket_readiness_from_stream(dfg.backward, buckets, anchors)

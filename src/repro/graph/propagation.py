@@ -58,6 +58,7 @@ def propagate_dirty(
     dag: PrecisionDAG,
     effective: dict[str, Precision],
     dirty: set[str],
+    overrides: dict[str, Precision] | None = None,
 ) -> set[str]:
     """Delta-update ``effective`` (in place) for a set of dirty ops.
 
@@ -68,6 +69,11 @@ def propagate_dirty(
     cannot be affected).  Returns the set of ops whose effective precision
     actually changed — equal, by construction, to the diff against a full
     :func:`effective_precisions` pass (pinned by the equivalence tests).
+
+    ``overrides`` substitutes assigned precisions without mutating the DAG —
+    the cost mapper's *what-if* mode: the hypothetical change is resolved
+    against a scratch ``effective`` copy while the DAG (and every cache
+    keyed on its version) stays untouched.
     """
     if not dirty:
         return set()
@@ -80,7 +86,10 @@ def propagate_dirty(
         _, name = heapq.heappop(worklist)
         spec = dag.spec(name)
         if spec.category is not OpCategory.DEPENDENT:
-            new = dag.precision(name)
+            if overrides is not None and name in overrides:
+                new = overrides[name]
+            else:
+                new = dag.precision(name)
         else:
             preds = dag.predecessors(name)
             in_precs = [

@@ -1,0 +1,48 @@
+"""Compiled array kernel for the Eq. (6) replay (ROADMAP open item 4).
+
+The object-graph Replayer walks Python ``DFGNode`` lists node-by-node on
+every simulate call.  This package lowers a :class:`~repro.core.dfg.LocalDFG`
+to flat float64 arrays *once per structure fingerprint + precision
+signature* and then evaluates Eq. (6) — and whole batches of allocator
+what-if candidates — as dense array operations.
+
+Contracts (the PR 5 oracle discipline, extended):
+
+* **Bit parity.**  Every reduction reproduces the analytic object path's
+  left-to-right float64 operation order (``np.add.accumulate`` over a 1-D
+  array is the Python prefix loop bit-for-bit; the bucket recurrence stays
+  a sequential loop because the closed-form cumsum/maximum.accumulate
+  rewrite would reassociate additions).  ``simulate_global_dfg`` remains
+  the equality oracle on every tier.
+* **Frozen buffers.**  Published arrays are ``writeable=False``; consumers
+  copy before mutating (linter rule RPR007).
+* **Graceful degradation.**  numpy is an optional extra — every entry
+  point returns ``None`` without it and callers fall back to the object
+  path.
+
+Layer 1 on the import ladder: the kernel knows nothing about DAGs, cost
+mappers or clusters — it consumes plain layouts and duck-typed DFGs.
+"""
+
+from repro.kernel.batch import candidate_row, simulate_batch
+from repro.kernel.compiled import (
+    HAVE_NUMPY,
+    CompiledGlobal,
+    CompiledLocal,
+    LocalLayout,
+    compile_global,
+    compile_local,
+    evaluate,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "CompiledGlobal",
+    "CompiledLocal",
+    "LocalLayout",
+    "candidate_row",
+    "compile_global",
+    "compile_local",
+    "evaluate",
+    "simulate_batch",
+]

@@ -99,6 +99,11 @@ class PlanRequest:
         device than its rank's worker is a :class:`ValueError`.
     stats:
         Indicator statistics; synthesized from the graph when omitted.
+    use_kernel:
+        Compiled-array fast path (:mod:`repro.kernel`) for Eq. (6)
+        evaluations.  ``None`` (default) enables it whenever numpy is
+        importable; ``False`` forces the analytic object path (bit-identical
+        results either way — the kernel is an equality-preserving cache).
     """
 
     model: Union[str, Callable[[], PrecisionDAG], PrecisionDAG]
@@ -117,6 +122,7 @@ class PlanRequest:
     profile_repeats: int = 3
     backends: Mapping[int, LPBackend] | None = None
     stats: Mapping[str, OperatorStats] | None = None
+    use_kernel: bool | None = None
 
     def __post_init__(self) -> None:
         # Every cheap knob is validated here, at construction — before a

@@ -1,0 +1,24 @@
+# repro: module repro.core.kernel_consumer_fixture
+"""Fixture: the sanctioned idiom — read compiled buffers, derive fresh arrays."""
+
+import numpy as np
+
+from repro.kernel import candidate_row, compile_local, evaluate
+
+
+def read_only(ldfg, layout, cg):
+    cl = compile_local(ldfg, layout)
+    iteration, comm_end = evaluate(cg)
+    # Reads are fine; so are fresh derived arrays.
+    shifted = cl.ready + comm_end
+    scratch = np.empty_like(shifted)
+    np.maximum(shifted, iteration, out=scratch)  # out= on *our* array
+    return scratch
+
+
+def splice(cl, change):
+    # candidate_row allocates its result; callers may mutate their own copy.
+    row, compute_end = candidate_row(cl, change)
+    mine = row.copy()
+    mine[0] = compute_end
+    return mine

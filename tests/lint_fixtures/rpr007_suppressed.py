@@ -1,0 +1,10 @@
+# repro: module repro.core.kernel_consumer_fixture
+"""Fixture: a reasoned RPR007 suppression is honored."""
+
+from repro.kernel import compile_local
+
+
+def scrub(ldfg):
+    cl = compile_local(ldfg)
+    cl.ready[0] = 0.0  # repro: allow RPR007 test harness resets a throwaway compilation it owns exclusively
+    return cl

@@ -1,0 +1,29 @@
+# repro: module repro.core.kernel_consumer_fixture
+"""Fixture: RPR007 catches in-place mutation of compiled kernel buffers."""
+
+import numpy as np
+
+from repro.kernel import candidate_row, compile_global, compile_local
+
+
+def poke_local(ldfg, layout):
+    cl = compile_local(ldfg, layout)
+    cl.ready[0] = 0.0  # expect: RPR007
+    cl.bwd_durs[1:] = 1.0  # expect: RPR007
+    return cl
+
+
+def unfreeze(ldfg):
+    cl = compile_local(ldfg)
+    cl.ready.flags.writeable = True  # expect: RPR007
+    cl.bwd_durs.setflags(write=True)  # expect: RPR007
+    return cl
+
+
+def clobber_global(rank_locals, durs, change):
+    cg = compile_global(rank_locals, durs)
+    cg.durations += 1.0  # expect: RPR007
+    row, end = candidate_row(cg, change)
+    row[0] = end  # expect: RPR007
+    np.maximum(row, 0.0, out=row)  # expect: RPR007
+    return cg

@@ -24,7 +24,15 @@ FIXTURES = Path(__file__).parent / "lint_fixtures"
 SRC = Path(__file__).parent.parent / "src"
 _EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9 ]+)$")
 
-RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
+RULE_IDS = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR006",
+    "RPR007",
+)
 
 
 def expected_findings(path: Path) -> list[tuple[int, str]]:

@@ -28,7 +28,7 @@ def test_bench_smoke(tmp_path):
     assert payload["report_deterministic"]
     assert payload["files"] > 10
     assert list(payload["rules"]) == [
-        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007",
     ]
 
     written = json.loads(out.read_text())

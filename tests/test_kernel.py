@@ -1,0 +1,292 @@
+"""Compiled array kernel (``repro.kernel``): bit parity with the analytic
+Eq. (6) oracle, batched what-if parity, dispatch and caching, frozen
+buffers, and hash-seed stability.
+
+The contract under test (the PR 8 discipline): the kernel is an
+equality-preserving cache — every number it produces must equal the
+analytic object path bit-for-bit, with no tolerance, on arbitrary global
+DFGs and on the real profiled models.  Batched what-if rows must equal the
+sequential apply → simulate → revert trial of the same candidate, row for
+row, and reverting must restore the base bitwise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.common.dtypes import higher_precision
+from repro.common.rng import new_rng
+from repro.core.allocator import Allocator, AllocatorConfig
+from repro.core.qsync import build_replayer
+from repro.core.replayer import bucket_comm_durations, simulate_global_dfg
+from repro.hardware import make_cluster_a
+from repro.kernel import (
+    HAVE_NUMPY,
+    compile_global,
+    compile_local,
+    evaluate,
+)
+from repro.models import mini_model_graph
+from repro.parallel.comm_model import resolve_collective_model
+from tests.test_engine import _cluster, _random_gdfg
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_allocator_speed import SMALL_SETUP, _build_allocator
+
+
+def _compile_gdfg(gdfg, cluster, collective_model=None):
+    """Lower a GlobalDFG the way the Replayer's kernel tier does."""
+    model = resolve_collective_model(collective_model)
+    durs = bucket_comm_durations(gdfg.locals, cluster, model)
+    compiled = []
+    for ldfg in gdfg.locals:
+        cl = compile_local(ldfg)
+        assert cl is not None, "random DFGs are positionally bucketed"
+        compiled.append((ldfg.rank, cl))
+    return compile_global(compiled, durs)
+
+
+def _small_replayer():
+    cluster = make_cluster_a(1, 1)
+
+    def builder():
+        return mini_model_graph(
+            "mini_bert", batch_size=4, width_scale=8, spatial_scale=4
+        )
+
+    replayer, _ = build_replayer(builder, cluster, profile_repeats=1)
+    return replayer
+
+
+def _candidates(replayer, limit=8):
+    """(rank, op, target) single-op changes for the lowest-rank dag: the
+    next-higher supported precision when one exists (the allocator's
+    recovery direction), else the widest supported demotion."""
+    rank = min(replayer.dags)
+    dag = replayer.dags[rank]
+    out = []
+    for op in dag.adjustable_ops():
+        cur = dag.precision(op)
+        supported = dag.spec(op).supported_precisions()
+        nxt = higher_precision(cur)
+        if nxt in supported:
+            out.append((rank, op, nxt))
+        else:
+            demotions = [p for p in supported if p.bits < cur.bits]
+            if demotions:
+                out.append((rank, op, max(demotions, key=lambda p: p.bits)))
+        if len(out) == limit:
+            break
+    assert out, "mini_bert must expose adjustable ops with alternatives"
+    return out
+
+
+def _type_ranks(replayer, rank):
+    tname = {w.rank: w.device.name for w in replayer.cluster.workers}[rank]
+    return [
+        w.rank for w in replayer.cluster.workers if w.device.name == tname
+    ]
+
+
+# ---------------------------------------------------------------------------
+# single-evaluation parity
+# ---------------------------------------------------------------------------
+
+
+class TestKernelAnalyticParity:
+    @given(st.integers(0, 10_000), st.integers(1, 4), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_parity_on_random_dfgs(self, seed, n_ranks, n_buckets):
+        """evaluate(compile_global(...)) == analytic Eq. (6), exactly."""
+        rng = new_rng(seed)
+        gdfg = _random_gdfg(rng, n_ranks, n_buckets)
+        cluster = _cluster(n_ranks)
+        cg = _compile_gdfg(gdfg, cluster)
+        assert cg is not None
+        iteration, comm_end = evaluate(cg)
+        analytic = simulate_global_dfg(gdfg, cluster)
+        assert iteration == analytic.iteration_time
+        # Reconstruct the per-rank fields the way the dispatch tier does.
+        for ldfg in gdfg.locals:
+            opt = ldfg.optimizer.duration if ldfg.optimizer else 0.0
+            compute = ldfg.forward_time + ldfg.backward_time
+            assert analytic.per_device_compute[ldfg.rank] == compute + opt
+            assert analytic.comm_wait_time[ldfg.rank] == max(
+                0.0, comm_end - compute
+            )
+
+    def test_replayer_kernel_toggle_is_invisible(self):
+        """Replayer.simulate() is bit-identical with the kernel tier on
+        and off — timeline, memory, every per-rank dict entry."""
+        assert HAVE_NUMPY
+        replayer = _small_replayer()
+        assert replayer.use_kernel
+        sim_kernel = replayer.simulate()
+        assert replayer.stats.kernel_sims == 1
+        replayer.use_kernel = False
+        sim_object = replayer.simulate()
+        assert replayer.stats.kernel_sims == 1
+        assert sim_kernel == sim_object
+
+    def test_kernel_cache_keyed_on_precision_signature(self):
+        """A precision change invalidates the compiled plan; reverting it
+        restores bit-identical results (not just close ones)."""
+        replayer = _small_replayer()
+        base = replayer.simulate()
+        (rank, op, target) = _candidates(replayer, limit=1)[0]
+        original = replayer.dags[rank].precision(op)
+        for r in _type_ranks(replayer, rank):
+            replayer.dags[r].set_precision(op, target)
+        changed = replayer.simulate()
+        # A stale compiled plan would replay the base result verbatim.
+        assert changed != base
+        for r in _type_ranks(replayer, rank):
+            replayer.dags[r].set_precision(op, original)
+        assert replayer.simulate() == base
+
+    def test_compiled_buffers_are_frozen(self):
+        rng = new_rng(7)
+        gdfg = _random_gdfg(rng, 2, 2)
+        cg = _compile_gdfg(gdfg, _cluster(2))
+        with pytest.raises(ValueError):
+            cg.durations[0] = 0.0
+        cl = cg.locals[0]
+        with pytest.raises(ValueError):
+            cl.ready[0] = 0.0
+        with pytest.raises(ValueError):
+            cl.bwd_durs[:] = 0.0
+
+
+# ---------------------------------------------------------------------------
+# batched what-if parity
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedWhatIf:
+    def test_batch_rows_match_sequential_trials(self):
+        """Row i of the batched sweep == apply candidate i to every
+        same-type rank, simulate, read memory, revert — bit for bit; and
+        the reverted base re-simulates to the original result."""
+        replayer = _small_replayer()
+        base = replayer.simulate()
+        candidates = _candidates(replayer)
+        batched = replayer.whatif_candidates(candidates)
+        assert batched is not None and len(batched) == len(candidates)
+
+        for (rank, op, target), (throughput, mem_total) in zip(
+            candidates, batched
+        ):
+            original = replayer.dags[rank].precision(op)
+            ranks = _type_ranks(replayer, rank)
+            for r in ranks:
+                replayer.dags[r].set_precision(op, target)
+            sim = replayer.simulate()
+            mem = replayer.memory_estimate(rank).total
+            for r in ranks:
+                replayer.dags[r].set_precision(op, original)
+            assert throughput == sim.throughput, (op, target)
+            assert mem_total == mem, (op, target)
+        assert replayer.simulate() == base
+
+    def test_identity_candidate_reproduces_base(self):
+        """A what-if that re-assigns an op its current precision must come
+        out exactly at the base throughput — the splice is a no-op."""
+        replayer = _small_replayer()
+        base = replayer.simulate()
+        rank = min(replayer.dags)
+        dag = replayer.dags[rank]
+        op = dag.adjustable_ops()[0]
+        out = replayer.whatif_candidates([(rank, op, dag.precision(op))])
+        assert out is not None
+        assert out[0][0] == base.throughput
+        assert out[0][1] == replayer.memory_estimate(rank).total
+
+    def test_empty_batch_and_kernel_off(self):
+        replayer = _small_replayer()
+        assert replayer.whatif_candidates([]) == []
+        replayer.use_kernel = False
+        assert replayer.whatif_candidates(_candidates(replayer, 2)) is None
+
+
+# ---------------------------------------------------------------------------
+# allocator integration: batched recovery ≡ sequential recovery
+# ---------------------------------------------------------------------------
+
+
+def test_allocator_batched_recovery_matches_sequential():
+    batched = _build_allocator(incremental=True, **SMALL_SETUP)
+    assert batched.config.batched_recovery
+    plan_b, report_b = batched.allocate()
+
+    sequential = _build_allocator(incremental=True, **SMALL_SETUP)
+    sequential.config = AllocatorConfig(batched_recovery=False)
+    plan_s, report_s = sequential.allocate()
+
+    assert plan_b.to_dict() == plan_s.to_dict()
+    assert report_b.final_throughput == report_s.final_throughput
+    assert report_b.recovery_attempts == report_s.recovery_attempts
+    assert report_b.recovery_accepted == report_s.recovery_accepted
+    # The batched run actually exercised the kernel sweep...
+    assert report_b.recovery_whatif_evals > 0
+    # ...and the sequential run never touched it.
+    assert report_s.recovery_whatif_evals == 0
+
+
+# ---------------------------------------------------------------------------
+# hash-seed stability (the test_engine probe harness)
+# ---------------------------------------------------------------------------
+
+
+_KERNEL_PROBE = r"""
+import json
+from repro.common.dtypes import higher_precision
+from repro.common.rng import new_rng
+from repro.core.replayer import simulate_global_dfg
+from tests.test_engine import _cluster, _random_gdfg
+from tests.test_kernel import _candidates, _compile_gdfg, _small_replayer
+from repro.kernel import evaluate
+
+gdfg = _random_gdfg(new_rng(321), 3, 2)
+cg = _compile_gdfg(gdfg, _cluster(3))
+iteration, comm_end = evaluate(cg)
+
+replayer = _small_replayer()
+sim = replayer.simulate()
+batched = replayer.whatif_candidates(_candidates(replayer, 6))
+print(json.dumps({
+    "random_iteration": iteration.hex(),
+    "random_comm_end": comm_end.hex(),
+    "ready": [x.hex() for x in cg.locals[0].ready.tolist()],
+    "model_iteration": sim.iteration_time.hex(),
+    "whatif": [[t.hex(), m] for t, m in batched],
+}))
+"""
+
+
+def test_kernel_results_survive_hash_seed():
+    """Compiled arrays and batched what-if rows must be bit-equal across
+    PYTHONHASHSEED values — lowering never iterates salted containers."""
+    root = Path(__file__).resolve().parent.parent
+
+    def probe(hashseed):
+        env = os.environ.copy()
+        env["PYTHONHASHSEED"] = str(hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), str(root), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _KERNEL_PROBE],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    assert probe(0) == probe(4242)
