@@ -17,7 +17,7 @@ import layering, append-only registries; see CONTRIBUTING.md):
 
 import dataclasses
 
-from repro import PlanRequest, PlanSession
+from repro import PlanRequest, PlanService, PlanSession
 from repro.hardware import make_cluster_a
 
 
@@ -62,6 +62,21 @@ def main() -> None:
         f"Uniform-precision baseline (same session, 0 new profilings): "
         f"{up.simulation.iteration_time * 1e3:.1f} ms/iter vs QSync's "
         f"{outcome.simulation.iteration_time * 1e3:.1f} ms/iter"
+    )
+
+    # Serving: wrap the warm session in a PlanService for thread-safe,
+    # coalescing access — identical concurrent requests share one
+    # computation, and batches dedupe + group by template/catalog.
+    # (PlanService(root=...) instead persists profiles to disk, so a fresh
+    # process warm-starts with zero profiling events.)
+    service = PlanService(session=session)
+    batch = service.plan_many([request, request, request])
+    assert batch[0] is batch[1] is batch[2]  # one plan, shared outcome
+    print()
+    print(
+        f"Served a 3-request batch as 1 plan "
+        f"({service.stats.coalesced_requests} coalesced): "
+        f"{service.describe()}"
     )
 
 

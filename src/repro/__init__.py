@@ -25,6 +25,9 @@ Package map (bottom-up):
 ``repro.session``      the front door: declarative ``PlanRequest``s,
                        profiling-reusing ``PlanSession``, pluggable planner
                        strategies (qsync/uniform/dpro/hessian/random)
+``repro.service``      the serving tier: thread-safe coalescing
+                       ``PlanService``, persistent on-disk profile store,
+                       batched ``plan_many``
 ``repro.parallel``     synchronous hybrid mixed-precision data parallelism
 ``repro.train``        optimizers, schedulers, synthetic datasets, loops
 ``repro.baselines``    UP, DBS, Hessian/Random indicators, Dpro replayer
@@ -46,6 +49,13 @@ Quickstart — a session amortizes profiling across what-if queries::
     for name, o in table.items():
         print(name, f"{o.simulation.iteration_time * 1e3:.1f} ms")
 
+Serving — many concurrent callers, persistence across restarts::
+
+    from repro import PlanService
+
+    service = PlanService(root="~/.cache/repro")   # warm-starts from disk
+    outcome = service.plan(request)                # thread-safe, coalescing
+
 The legacy one-shot facade is still exported::
 
     from repro import qsync_plan
@@ -61,7 +71,9 @@ __all__ = [
     "Perturbation",
     "PlanOutcome",
     "PlanRequest",
+    "PlanService",
     "PlanSession",
+    "plan_many",
     "qsync_plan",
     "__version__",
 ]
@@ -84,4 +96,8 @@ def __getattr__(name: str):
         import repro.session as _session
 
         return getattr(_session, name)
+    if name in ("PlanService", "plan_many"):
+        import repro.service as _service
+
+        return getattr(_service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

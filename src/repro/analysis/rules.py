@@ -293,17 +293,20 @@ class LayeringRule(Rule):
     Contract (PR 6 layering + the architecture ladder): runtime imports at
     module scope must respect
     ``common → graph/hardware/quant → tensor → train/models/backend/parallel
-    → profiling → core → baselines/engine → session → experiments``.
-    ``TYPE_CHECKING``-guarded imports always pass; function-local deferred
-    imports pass the *ladder* (the sanctioned thin-wrapper idiom, e.g.
-    ``core.qsync`` delegating to an ephemeral session) — but nothing in
-    ``repro.engine`` may import ``repro.session`` at runtime in *any*
-    scope: the engine stays embeddable without the session layer.
+    → profiling → core → baselines/engine → session → service →
+    experiments``.  ``TYPE_CHECKING``-guarded imports always pass;
+    function-local deferred imports pass the *ladder* (the sanctioned
+    thin-wrapper idiom, e.g. ``core.qsync`` delegating to an ephemeral
+    session) — but the :data:`BANNED_PAIRS` edges are violations at *any*
+    runtime scope: nothing in ``repro.engine`` may import ``repro.session``
+    (the engine stays embeddable without the session layer), and nothing in
+    ``repro.session`` may import ``repro.service`` (the session must not
+    grow a dependency on its own serving wrapper — PR 9).
     """
 
     id = "RPR004"
-    title = "import layering: engine never imports session at runtime"
-    contract = "PR 6: engine/session layering"
+    title = "import layering: lower layers never import upper at runtime"
+    contract = "PR 6/9: engine/session/service layering"
 
     #: package -> layer; imports may only point at the same or a lower
     #: layer at module scope.  The bare ``repro`` façade re-exports the
@@ -324,9 +327,26 @@ class LayeringRule(Rule):
         "baselines": 6,
         "engine": 6,
         "session": 7,
-        "experiments": 8,
-        "analysis": 8,
-        "": 9,  # the repro package root / façade
+        "service": 8,
+        "experiments": 9,
+        "analysis": 9,
+        "": 10,  # the repro package root / façade
+    }
+
+    #: (source package, target package) edges banned at ANY runtime scope
+    #: — even function-local deferred imports.  Each value is the reason
+    #: reported with the violation.
+    BANNED_PAIRS = {
+        ("engine", "session"): (
+            "repro.engine must not import repro.session at runtime "
+            "(TYPE_CHECKING-only); the engine stays "
+            "session-agnostic (PR 6)"
+        ),
+        ("session", "service"): (
+            "repro.session must not import repro.service at runtime "
+            "(TYPE_CHECKING-only); the session stays servable without "
+            "the serving layer (PR 9)"
+        ),
     }
 
     @classmethod
@@ -350,15 +370,10 @@ class LayeringRule(Rule):
             tgt_pkg = self._package(edge.target)
             if tgt_pkg is None or not edge.runtime:
                 continue
-            if src_pkg == "engine" and tgt_pkg == "session":
+            banned = self.BANNED_PAIRS.get((src_pkg, tgt_pkg))
+            if banned is not None:
                 yield Violation(
-                    mod.display_path,
-                    edge.line,
-                    edge.col,
-                    self.id,
-                    "repro.engine must not import repro.session at runtime "
-                    "(TYPE_CHECKING-only); the engine stays "
-                    "session-agnostic (PR 6)",
+                    mod.display_path, edge.line, edge.col, self.id, banned
                 )
                 continue
             tgt_layer = self.LAYERS.get(tgt_pkg)

@@ -25,6 +25,7 @@ from repro.common.stable_hash import (
     stable_digest,
     stable_hash,
     stable_mod,
+    try_stable_digest,
 )
 from repro.common.units import (
     GB,
@@ -57,6 +58,7 @@ __all__ = [
     "stable_digest",
     "stable_hash",
     "stable_mod",
+    "try_stable_digest",
     "KB",
     "MB",
     "GB",

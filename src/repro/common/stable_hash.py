@@ -24,7 +24,13 @@ import numbers
 import struct
 from typing import Any
 
-__all__ = ["canonical_encode", "stable_digest", "stable_hash", "stable_mod"]
+__all__ = [
+    "canonical_encode",
+    "stable_digest",
+    "stable_hash",
+    "stable_mod",
+    "try_stable_digest",
+]
 
 
 def canonical_encode(obj: Any) -> bytes:
@@ -90,6 +96,22 @@ def stable_digest(obj: Any, *, digest_size: int = 16) -> str:
     return hashlib.blake2b(
         canonical_encode(obj), digest_size=digest_size
     ).hexdigest()
+
+
+def try_stable_digest(obj: Any, *, digest_size: int = 16) -> str | None:
+    """:func:`stable_digest`, or ``None`` when the value tree contains a
+    member :func:`canonical_encode` cannot represent (a callable, a built
+    graph, a custom cost-model instance, ...).
+
+    This is the content-vs-identity boundary of every fingerprint consumer:
+    a ``None`` means "this value has no content address" — callers must fall
+    back to treating the object as opaque (no cross-process key, no request
+    coalescing) rather than inventing an identity-derived key.
+    """
+    try:
+        return stable_digest(obj, digest_size=digest_size)
+    except TypeError:
+        return None
 
 
 def stable_hash(obj: Any) -> int:

@@ -97,6 +97,26 @@ class CastCostCalculator:
                 np.asarray(self.sizes, dtype=np.float64), np.asarray(times)
             )
 
+    @classmethod
+    def from_fitted(
+        cls,
+        backend: LPBackend,
+        sizes: tuple[int, ...],
+        repeats: int,
+        models: dict[tuple[Precision, Precision], LinearCostModel],
+    ) -> "CastCostCalculator":
+        """Rebind already-fitted models to a live backend *without*
+        re-measuring — the persistent-store warm-start path.  Predictions
+        read only the fitted coefficients, so a rebuilt calculator is
+        bit-identical to the one that was serialized.
+        """
+        calc = cls.__new__(cls)
+        calc.backend = backend
+        calc.sizes = tuple(int(s) for s in sizes)
+        calc.repeats = int(repeats)
+        calc._models = dict(models)
+        return calc
+
     # ------------------------------------------------------------------
     def model(self, src: Precision, dst: Precision) -> LinearCostModel:
         return self._models[(src, dst)]

@@ -2,20 +2,31 @@
 
 The paper's workflow profiles on the target hardware once, then replays and
 allocates offline.  These helpers serialize the profiling artifacts —
-operator cost catalogs and precision plans — to plain JSON so a planning
-session can run on a different machine (or later) without re-measuring.
+operator cost catalogs, cast-cost fits, synthesized indicator statistics,
+and precision plans — to plain JSON so a planning session can run on a
+different machine (or later) without re-measuring.
+
+Round trips are *exact*: every float survives ``json`` byte-for-byte
+(shortest-repr encoding) and every list preserves order, so an artifact
+loaded from disk drives the planner to bit-identical results — the
+invariant the persistent :class:`repro.service.PersistentProfileStore`
+leans on.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from repro.common.dtypes import parse_precision
+from repro.profiling.casting import CastCostCalculator, LinearCostModel
 from repro.profiling.profiler import OperatorCost, OperatorCostCatalog
+from repro.profiling.stats import OperatorStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backend.lp_backend import LPBackend
     from repro.core.plan import PrecisionPlan
 
 
@@ -60,6 +71,69 @@ def save_catalog(catalog: OperatorCostCatalog, path: str | Path) -> None:
 def load_catalog(path: str | Path) -> OperatorCostCatalog:
     """Read a catalog previously written by :func:`save_catalog`."""
     return catalog_from_dict(json.loads(Path(path).read_text()))
+
+
+def cast_calc_to_dict(calc: CastCostCalculator) -> dict:
+    """JSON-able representation of a fitted cast-cost calculator (the
+    fitted coefficients and the fit configuration; the backend itself is
+    rebound at load time)."""
+    return {
+        "sizes": [int(s) for s in calc.sizes],
+        "repeats": int(calc.repeats),
+        "models": [
+            {
+                "src": src.value,
+                "dst": dst.value,
+                "slope": model.slope,
+                "intercept": model.intercept,
+                "r2": model.r2,
+            }
+            for (src, dst), model in calc._models.items()
+        ],
+    }
+
+
+def cast_calc_from_dict(data: dict, backend: "LPBackend") -> CastCostCalculator:
+    """Inverse of :func:`cast_calc_to_dict`; ``backend`` must be the live
+    backend the fits belong to (the caller keys artifacts so this holds)."""
+    models = {}
+    for entry in data["models"]:
+        pair = (parse_precision(entry["src"]), parse_precision(entry["dst"]))
+        models[pair] = LinearCostModel(
+            slope=float(entry["slope"]),
+            intercept=float(entry["intercept"]),
+            r2=float(entry["r2"]),
+        )
+    return CastCostCalculator.from_fitted(
+        backend,
+        sizes=tuple(data["sizes"]),
+        repeats=data["repeats"],
+        models=models,
+    )
+
+
+def stats_to_dict(stats: Mapping[str, OperatorStats]) -> dict:
+    """JSON-able representation of per-operator indicator statistics.
+
+    Entries ride in a list (not an object) so the mapping's insertion order
+    — the DAG's adjustable-op order — survives ``sort_keys`` dumps.
+    """
+    entries = []
+    for name, s in stats.items():
+        fields = dataclasses.asdict(s)
+        counts = fields.pop("_counts")
+        entries.append({"op": name, "fields": fields, "counts": counts})
+    return {"stats": entries}
+
+
+def stats_from_dict(data: dict) -> dict[str, OperatorStats]:
+    """Inverse of :func:`stats_to_dict` (exact float round trip)."""
+    out: dict[str, OperatorStats] = {}
+    for entry in data["stats"]:
+        s = OperatorStats(**entry["fields"])
+        s._counts.update({k: int(v) for k, v in entry["counts"].items()})
+        out[entry["op"]] = s
+    return out
 
 
 def save_plan(plan: PrecisionPlan, path: str | Path) -> None:

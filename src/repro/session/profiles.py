@@ -48,6 +48,15 @@ class SessionStats:
     #: Template DAG builds / cache hits (string-named models only).
     template_builds: int = 0
     template_hits: int = 0
+    #: Requests served by joining another caller's identical in-flight
+    #: computation (or a ``plan_many`` duplicate) instead of planning —
+    #: incremented only under the :class:`~repro.service.PlanService` lock.
+    coalesced_requests: int = 0
+    #: Persistent-store artifact loads that served (``disk_hits``) or failed
+    #: (``disk_misses`` — absent, unreadable, stale-format, or wrong-key
+    #: files, all of which degrade to recomputation, never errors).
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def profile_events(self) -> int:
@@ -165,7 +174,16 @@ def resolve_backends(
 
 
 class ProfileStore:
-    """Fingerprint-keyed cache of profiling artifacts (one per session)."""
+    """Fingerprint-keyed cache of profiling artifacts (one per session).
+
+    Lookup discipline (the extraction points a persistent subclass hooks):
+    each ``*_for`` method consults the in-memory map, then offers the key to
+    a ``_fetch_*`` hook (a second cache tier — this base class has none and
+    always misses), and only then pays for the computation, handing the
+    fresh artifact to the matching ``_persist_*`` hook.  Keys are built from
+    :mod:`repro.common.stable_hash` fingerprints only, so a subclass may use
+    them verbatim as cross-process content addresses.
+    """
 
     def __init__(self) -> None:
         self.stats = SessionStats()
@@ -173,6 +191,31 @@ class ProfileStore:
         self._cast_calcs: dict[tuple, CastCostCalculator] = {}
         self._op_stats: dict[tuple, dict[str, OperatorStats]] = {}
         self._templates: dict[tuple, PrecisionDAG] = {}
+
+    # -- extraction points (overridden by the persistent store) --------
+    def _fetch_catalog(self, key: tuple) -> OperatorCostCatalog | None:
+        """Second-tier catalog lookup; ``None`` = miss (base: always)."""
+        return None
+
+    def _persist_catalog(self, key: tuple, catalog: OperatorCostCatalog) -> None:
+        """Offer a freshly profiled catalog to the second tier (base: drop)."""
+
+    def _fetch_cast(
+        self, key: tuple, backend: LPBackend
+    ) -> CastCostCalculator | None:
+        """Second-tier cast-fit lookup (``backend`` rebinds the fitted
+        models to a live measurement backend); ``None`` = miss."""
+        return None
+
+    def _persist_cast(self, key: tuple, calc: CastCostCalculator) -> None:
+        """Offer a freshly fitted cast calculator to the second tier."""
+
+    def _fetch_stats(self, key: tuple) -> dict[str, OperatorStats] | None:
+        """Second-tier synthesized-stats lookup; ``None`` = miss."""
+        return None
+
+    def _persist_stats(self, key: tuple, stats: dict[str, OperatorStats]) -> None:
+        """Offer freshly synthesized stats to the second tier."""
 
     # -- catalogs ------------------------------------------------------
     def catalog_for(
@@ -192,9 +235,15 @@ class ProfileStore:
         if hit is not None:
             self.stats.catalog_hits += 1
             return hit
+        fetched = self._fetch_catalog(key)
+        if fetched is not None:
+            self.stats.catalog_hits += 1
+            self._catalogs[key] = fetched
+            return fetched
         self.stats.catalog_profiles += 1
         catalog = profile_operator_costs(dag, backend, repeats=repeats)
         self._catalogs[key] = catalog
+        self._persist_catalog(key, catalog)
         return catalog
 
     # -- cast-cost fits ------------------------------------------------
@@ -204,9 +253,15 @@ class ProfileStore:
         if hit is not None:
             self.stats.cast_hits += 1
             return hit
+        fetched = self._fetch_cast(key, backend)
+        if fetched is not None:
+            self.stats.cast_hits += 1
+            self._cast_calcs[key] = fetched
+            return fetched
         self.stats.cast_fits += 1
         calc = CastCostCalculator(backend)
         self._cast_calcs[key] = calc
+        self._persist_cast(key, calc)
         return calc
 
     # -- synthesized indicator statistics ------------------------------
@@ -218,9 +273,15 @@ class ProfileStore:
         if hit is not None:
             self.stats.stats_hits += 1
             return hit
+        fetched = self._fetch_stats(key)
+        if fetched is not None:
+            self.stats.stats_hits += 1
+            self._op_stats[key] = fetched
+            return fetched
         self.stats.stats_syntheses += 1
         stats = synthesize_stats(template, seed=seed)
         self._op_stats[key] = stats
+        self._persist_stats(key, stats)
         return stats
 
     # -- template DAGs -------------------------------------------------

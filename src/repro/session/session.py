@@ -95,11 +95,18 @@ class PlanSession:
         Seed of the default per-rank :class:`LPBackend` measurement noise
         (``0`` matches the legacy ``build_replayer`` default — keep it to
         stay bit-identical with the historical entry points).
+    profiles:
+        The artifact store to plan against.  ``None`` builds a private
+        in-memory :class:`ProfileStore`; the serving layer passes a
+        :class:`repro.service.PersistentProfileStore` here so catalogs,
+        cast fits, and synthesized stats survive the process.
     """
 
-    def __init__(self, profile_seed: int = 0) -> None:
+    def __init__(
+        self, profile_seed: int = 0, profiles: ProfileStore | None = None
+    ) -> None:
         self.profile_seed = profile_seed
-        self.profiles = ProfileStore()
+        self.profiles = ProfileStore() if profiles is None else profiles
         #: The context of the most recent ``plan``/``replan`` call — the
         #: natural first argument of :meth:`replan` for callers that used
         #: the one-shot :meth:`plan` API.

@@ -1,0 +1,13 @@
+"""Fixture: RPR004 catches runtime session→service imports, any scope."""
+# repro: module repro.session.lint_fixture_rpr004_service
+from repro.service.store import PersistentProfileStore  # expect: RPR004
+
+
+def build_service():
+    from repro.service import PlanService  # expect: RPR004
+
+    return PlanService()
+
+
+def describe(store: PersistentProfileStore) -> str:
+    return str(store.root)

@@ -69,6 +69,15 @@ def test_rpr004_ladder_fixture():
     assert findings(fixture) == expected_findings(fixture)
 
 
+def test_rpr004_service_fixture():
+    # session → service is banned at ANY runtime scope (the PR 9 mirror of
+    # the engine → session ban), including function-local deferred imports.
+    fixture = FIXTURES / "rpr004_service_violation.py"
+    expected = expected_findings(fixture)
+    assert len(expected) == 2  # module scope AND function-local
+    assert findings(fixture) == expected
+
+
 @pytest.mark.parametrize("rule_id", RULE_IDS)
 def test_rule_passes_clean_fixture(rule_id):
     fixture = FIXTURES / f"{rule_id.lower()}_clean.py"

@@ -1,0 +1,44 @@
+"""Tier-1 smoke invocation of the plan-serving benchmark.
+
+Runs ``benchmarks.bench_service`` in its scaled-down mode so serving
+regressions — coalescing silently turning into N full plans, the persistent
+store re-profiling on a warm start, or the service changing results — fail
+loudly in the normal test run.  The full-size benchmark
+(``python -m benchmarks.bench_service``) reports the headline numbers to
+``BENCH_service.json``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_service import run_bench
+
+
+def test_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_service.json"
+    payload = run_bench(small=True, path=out)
+    assert out.exists()
+
+    # The headline: N identical concurrent clients on one service achieve
+    # >= 5x the per-request cold-session rate (measured far higher; 5x
+    # leaves room for CI noise — the coalescing counter below pins the
+    # mechanism deterministically).
+    assert payload["coalesced"]["throughput_ratio"] >= 5.0
+    assert payload["coalesced"]["coalesced_requests"] > 0
+
+    # Warm disk, cold process: zero catalog profilings / cast fits / stats
+    # syntheses — everything is served from the persistent store.
+    assert payload["warm_start"]["profilings"] == 0
+    assert payload["warm_start"]["disk_hits"] > 0
+    assert payload["warm_start"]["disk_misses"] == 0
+
+    # Serving must not change results: every served outcome (coalesced,
+    # and the cold-process restart) is bit-identical to a direct session.
+    assert payload["parity"]
+
+    # Warm mixed traffic's tail stays below one cold plan, and a zero-event
+    # replan on the warm service re-profiles nothing.
+    assert payload["mixed"]["p99_seconds"] <= payload["cold_probe_seconds"]
+    assert payload["mixed"]["replan_new_profile_events"] == 0

@@ -1,0 +1,374 @@
+"""Plan-serving subsystem tests (PR 9).
+
+Pins the service-layer contracts:
+
+* **parity oracle** — a service-mediated plan is bit-identical to a direct
+  ``PlanSession.plan()`` of the same request, in memory and through the
+  persistent store, warm and cold-process;
+* **coalescing** — identical in-flight requests share one computation and
+  one outcome object (white-box deterministic test + threaded stress);
+  exactly one profiling pass happens per distinct catalog key no matter
+  how many threads race;
+* **misses, never errors** — corrupted / truncated / stale-format /
+  wrong-key disk artifacts degrade to recomputation with correct results;
+* **cross-process keys** — on-disk filenames and request fingerprints are
+  invariant under ``PYTHONHASHSEED`` (subprocess probe).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.hardware import make_cluster_a
+from repro.service import (
+    PROFILE_FORMAT,
+    PersistentProfileStore,
+    PlanService,
+    plan_many,
+    request_fingerprint,
+)
+from repro.service.service import _InFlight
+from repro.session import PlanRequest, PlanSession
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Small, fast request shared by most tests: 1 V100 + 1 T4 (two distinct
+#: device types), mini graph, single profiling repeat.
+CLUSTER = make_cluster_a(1, 1)
+
+
+def small_request(**overrides) -> PlanRequest:
+    kwargs = dict(
+        model="mini_vgg",
+        model_kwargs={"batch_size": 4},
+        cluster=CLUSTER,
+        profile_repeats=1,
+    )
+    kwargs.update(overrides)
+    return PlanRequest(**kwargs)
+
+
+def canon(outcome) -> tuple[str, str]:
+    """Bit-exact identity of one outcome: the plan dict (deterministic
+    serialization) and the simulated iteration time, bit-for-bit."""
+    return (
+        json.dumps(outcome.plan.to_dict(), sort_keys=True),
+        outcome.simulation.iteration_time.hex(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# parity
+# ---------------------------------------------------------------------------
+
+
+def test_service_plan_matches_direct_session():
+    request = small_request()
+    direct = PlanSession().plan(request)
+    served = PlanService().plan(request)
+    assert canon(served) == canon(direct)
+
+
+def test_persistent_roundtrip_is_bit_identical(tmp_path):
+    request = small_request()
+    direct = PlanSession().plan(request)
+
+    first = PlanService(root=tmp_path)
+    warm = first.plan(request)
+    assert canon(warm) == canon(direct)
+    assert first.stats.catalog_profiles == 2  # V100 + T4, once each
+    assert first.stats.disk_misses > 0  # cold disk
+
+    # Fresh service, same root: everything comes from disk, nothing is
+    # re-profiled, and the results are bit-identical.
+    second = PlanService(root=tmp_path)
+    cold_process = second.plan(request)
+    stats = second.stats
+    assert stats.catalog_profiles == 0
+    assert stats.cast_fits == 0
+    assert stats.stats_syntheses == 0
+    assert stats.disk_hits > 0
+    assert stats.disk_misses == 0
+    assert canon(cold_process) == canon(direct)
+
+
+def test_replan_rides_through_the_service(tmp_path):
+    from repro.common.units import GBPS
+    from repro.hardware import T4, ClusterEvent
+
+    request = small_request(cluster=make_cluster_a(1, 1))
+    service = PlanService(root=tmp_path)
+    service.plan(request)
+    replan = service.replan(
+        service.session.last_context,
+        [ClusterEvent(0.0, "join", 9, device=T4, link_bandwidth=GBPS)],
+    )
+    assert replan.new_profile_events == 0  # T4 catalog already warm
+    assert replan.outcome.plan is not None
+
+
+# ---------------------------------------------------------------------------
+# coalescing
+# ---------------------------------------------------------------------------
+
+
+def test_identical_requests_have_equal_fingerprints():
+    a = small_request()
+    b = small_request()  # independently built, same content
+    assert a is not b
+    fp = request_fingerprint(a)
+    assert fp is not None
+    assert fp == request_fingerprint(b)
+    assert request_fingerprint(small_request(seed=1)) != fp
+    assert request_fingerprint(small_request(strategy="uniform")) != fp
+
+
+def test_opaque_requests_do_not_coalesce():
+    from repro.models import mini_model_graph
+
+    opaque = small_request(
+        model=lambda: mini_model_graph("mini_vgg", batch_size=4)
+    )
+    assert request_fingerprint(opaque) is None
+    # ... but they are still served correctly.
+    outcome = PlanService().plan(opaque)
+    assert canon(outcome) == canon(PlanSession().plan(small_request()))
+
+
+def test_coalesced_followers_share_the_leader_outcome():
+    """White-box determinism: with an in-flight entry pre-registered, every
+    arriving identical request coalesces onto it — no timing window."""
+    service = PlanService()
+    request = small_request()
+    fp = request_fingerprint(request)
+    entry = _InFlight()
+    service._inflight[fp] = entry
+
+    results = [None] * 4
+    threads = [
+        threading.Thread(
+            target=lambda i=i: results.__setitem__(i, service.plan(request))
+        )
+        for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    while service.stats.coalesced_requests < 4:  # all four joined
+        threading.Event().wait(0.001)
+    sentinel = PlanSession().plan(request)
+    entry.outcome = sentinel
+    del service._inflight[fp]
+    entry.event.set()
+    for t in threads:
+        t.join()
+    assert all(r is sentinel for r in results)  # the SAME object
+    assert service.stats.plan_calls == 0  # nobody planned
+
+
+def test_coalesced_followers_get_the_leader_error():
+    service = PlanService()
+    request = small_request()
+    fp = request_fingerprint(request)
+    entry = _InFlight()
+    service._inflight[fp] = entry
+
+    seen = []
+    thread = threading.Thread(
+        target=lambda: seen.append(pytest.raises(RuntimeError, service.plan, request))
+    )
+    thread.start()
+    while service.stats.coalesced_requests < 1:
+        threading.Event().wait(0.001)
+    entry.error = RuntimeError("leader failed")
+    del service._inflight[fp]
+    entry.event.set()
+    thread.join()
+    assert len(seen) == 1
+
+
+def test_concurrent_stress_profiles_each_catalog_key_once():
+    """N threads racing identical + distinct requests: exactly one
+    profiling pass per distinct (DAG, device-type) catalog key, and every
+    outcome bit-identical to its serial reference."""
+    shared = small_request()
+    distinct = small_request(model="mini_vggbn")
+    serial = {
+        "shared": canon(PlanSession().plan(shared)),
+        "distinct": canon(PlanSession().plan(distinct)),
+    }
+
+    service = PlanService()
+    results: list = [None] * 12
+    def worker(i):
+        request = shared if i % 2 == 0 else distinct
+        results[i] = (("shared" if i % 2 == 0 else "distinct"),
+                      service.plan(request))
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(12)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for label, outcome in results:
+        assert canon(outcome) == serial[label]
+    # 2 models x 2 device types = 4 catalog keys; 2 backends' cast fits.
+    stats = service.stats
+    assert stats.catalog_profiles == 4
+    assert stats.cast_fits == 2
+    assert stats.plan_calls + stats.coalesced_requests == 12
+
+
+# ---------------------------------------------------------------------------
+# plan_many
+# ---------------------------------------------------------------------------
+
+
+def test_plan_many_dedupes_and_preserves_order():
+    a = small_request()
+    b = small_request(strategy="uniform")
+    service = PlanService()
+    outcomes = service.plan_many([a, b, small_request(), a])
+    assert outcomes[0] is outcomes[2] is outcomes[3]  # identical content
+    assert outcomes[1] is not outcomes[0]
+    assert service.stats.plan_calls == 2  # two distinct requests
+    assert service.stats.coalesced_requests == 2
+    assert canon(outcomes[1]) == canon(PlanSession().plan(b))
+
+
+def test_plan_many_groups_amortize_profiling():
+    # Interleaved models: grouping must still profile each catalog key once.
+    a, b = small_request(), small_request(model="mini_vggbn")
+    service = PlanService()
+    outcomes = service.plan_many(
+        [a, b, small_request(seed=1), small_request(model="mini_vggbn", seed=1)]
+    )
+    assert service.stats.catalog_profiles == 4  # 2 models x 2 device types
+    assert len(outcomes) == 4 and all(o is not None for o in outcomes)
+
+
+def test_module_level_plan_many(tmp_path):
+    outcomes = plan_many([small_request()], root=tmp_path)
+    assert canon(outcomes[0]) == canon(PlanSession().plan(small_request()))
+    assert len(PersistentProfileStore(tmp_path).entries()) > 0
+
+
+def test_root_and_session_are_mutually_exclusive(tmp_path):
+    with pytest.raises(ValueError):
+        PlanService(root=tmp_path, session=PlanSession())
+
+
+# ---------------------------------------------------------------------------
+# disk defects degrade to misses
+# ---------------------------------------------------------------------------
+
+
+def _poison(path: Path, how: str) -> None:
+    if how == "truncated":
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    elif how == "garbage":
+        path.write_bytes(b"\x00\xff not json \xfe")
+    elif how == "stale_format":
+        doc = json.loads(path.read_text())
+        doc["format"] = PROFILE_FORMAT + 1
+        path.write_text(json.dumps(doc))
+    elif how == "wrong_key":
+        doc = json.loads(path.read_text())
+        doc["key"] = ["catalog", "somebody", "else", 1]
+        path.write_text(json.dumps(doc))
+    elif how == "payload_shape":
+        doc = json.loads(path.read_text())
+        doc["payload"] = {"costs": "not-a-list"}
+        path.write_text(json.dumps(doc))
+
+
+@pytest.mark.parametrize(
+    "how", ["truncated", "garbage", "stale_format", "wrong_key", "payload_shape"]
+)
+def test_defective_artifacts_are_misses_not_errors(tmp_path, how):
+    request = small_request()
+    reference = canon(PlanSession().plan(request))
+    warm = PlanService(root=tmp_path)
+    warm.plan(request)
+    store = warm.session.profiles
+    assert len(store.entries()) > 0
+    for path in store.entries():
+        _poison(path, how)
+
+    service = PlanService(root=tmp_path)
+    outcome = service.plan(request)
+    assert canon(outcome) == reference  # recomputed, still exact
+    stats = service.stats
+    assert stats.disk_hits == 0
+    assert stats.disk_misses > 0
+    assert stats.catalog_profiles == 2  # paid the re-profile, no more
+
+
+def test_unwritable_root_still_plans(tmp_path, monkeypatch):
+    # A failing write is a silent no-op (cache, not a database).
+    service = PlanService(root=tmp_path)
+    monkeypatch.setattr(os, "replace", lambda *a: (_ for _ in ()).throw(OSError()))
+    outcome = service.plan(small_request())
+    assert outcome.plan is not None
+    assert len(service.session.profiles.entries()) == 0
+
+
+def test_clear_removes_artifacts(tmp_path):
+    service = PlanService(root=tmp_path)
+    service.plan(small_request())
+    store = service.session.profiles
+    n = len(store)
+    assert n > 0
+    assert store.clear() == n
+    assert len(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# cross-process key stability
+# ---------------------------------------------------------------------------
+
+_PROBE = r"""
+import json, sys, tempfile
+from repro.hardware import make_cluster_a
+from repro.service import PlanService, cluster_fingerprint, request_fingerprint
+from repro.session import PlanRequest
+
+cluster = make_cluster_a(1, 1)
+request = PlanRequest(
+    model="mini_vgg", model_kwargs={"batch_size": 4},
+    cluster=cluster, profile_repeats=1, seed=7,
+)
+with tempfile.TemporaryDirectory() as root:
+    service = PlanService(root=root)
+    service.plan(request)
+    names = [p.name for p in service.session.profiles.entries()]
+print(json.dumps({
+    "request_fingerprint": request_fingerprint(request),
+    "cluster_fingerprint": cluster_fingerprint(cluster),
+    "artifact_names": names,
+}))
+"""
+
+
+def _probe(hashseed: int) -> dict:
+    env = os.environ.copy()
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_disk_keys_and_fingerprints_survive_hash_seed():
+    a = _probe(0)
+    b = _probe(4242)
+    assert a["request_fingerprint"] == b["request_fingerprint"]
+    assert a["cluster_fingerprint"] == b["cluster_fingerprint"]
+    assert a["artifact_names"] == b["artifact_names"]
+    assert len(a["artifact_names"]) >= 5  # 2 catalogs + 2 casts + stats
