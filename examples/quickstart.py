@@ -64,6 +64,14 @@ def main() -> None:
         f"{outcome.simulation.iteration_time * 1e3:.1f} ms/iter"
     )
 
+    # Joint axis: "qsync+qsgd" runs the same precision allocation, then
+    # QSGD-compresses the gradient buckets wherever the all-reduce time
+    # saved is worth the (budgeted) added sync variance.  Level 0 — no
+    # bucket compressed — is bit-identical to plain "qsync".
+    cp = session.plan(dataclasses.replace(request, strategy="qsync+qsgd"))
+    print()
+    print(f"With gradient compression: {cp.compression.summary()}")
+
     # Serving: wrap the warm session in a PlanService for thread-safe,
     # coalescing access — identical concurrent requests share one
     # computation, and batches dedupe + group by template/catalog.

@@ -422,6 +422,7 @@ class RegistryRule(Rule):
         "SCENARIOS",
         "PRESET_BUILDERS",
         "RULES",
+        "COLLECTIVE_MODELS",
     )
     _MUTATORS = (
         "clear",

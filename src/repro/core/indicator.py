@@ -24,6 +24,7 @@ from typing import Protocol
 from repro.common.dtypes import Precision
 from repro.graph.dag import PrecisionDAG
 from repro.profiling.stats import OperatorStats
+from repro.quant.qsgd import qsgd_variance_factor
 
 
 class IndicatorProtocol(Protocol):
@@ -123,6 +124,26 @@ class VarianceIndicator:
             self.gamma**2 * d_o * self._sigma_fp(s, precision)
             + (self._d_max - d_o) * self._sigma_bp(s, precision)
         )
+
+    def gradient_sync_variance(self, op: str, bits: int | None) -> float:
+        """Added gradient variance of QSGD-syncing ``op``'s gradients at
+        ``bits`` — the compression axis' analogue of :meth:`omega`.
+
+        Proposition-2 reasoning on the QSGD grid
+        (:func:`~repro.quant.qsgd.qsgd_variance_factor`) applied to the
+        op's profiled gradient second moment.  Unlike the forward/backward
+        terms this variance lands directly on the weight update — it is
+        not amplified through the remaining backward depth — so no depth
+        factor applies.  Zero at >= 32 bits (uncompressed), zero for ops
+        without profiled statistics (nothing to bucket).
+        """
+        factor = qsgd_variance_factor(bits)
+        if factor == 0.0:
+            return 0.0
+        s = self.stats.get(op)
+        if s is None:
+            return 0.0
+        return factor * s.grad_norm_sq
 
     def ranking(self, precision: Precision) -> list[tuple[str, float]]:
         """Ops sorted most-sensitive-first at a given precision."""

@@ -14,12 +14,22 @@ from collections import Counter
 from repro.common.dtypes import Precision, parse_precision
 
 
+#: Serialized-dict key carrying the optional compression axis.  Reserved —
+#: never a device name — and only emitted when compression is active, so
+#: uncompressed plan dicts stay byte-identical to the pre-compression era.
+COMPRESSION_KEY = "__bucket_compression__"
+
+
 @dataclasses.dataclass
 class PrecisionPlan:
     """Per-device-type operator precision assignments."""
 
     #: device name -> (op name -> precision); ops absent default to FP32.
     assignments: dict[str, dict[str, Precision]]
+    #: Per-DDP-bucket QSGD compression levels (the joint planning axis), or
+    #: ``None`` when gradients sync uncompressed.  All-zero levels are
+    #: recorded as ``None`` by the planner (the level-0 parity contract).
+    bucket_compression: tuple[int, ...] | None = None
 
     def for_device(self, device_name: str) -> dict[str, Precision]:
         """Plan for one device type (empty = all FP32)."""
@@ -39,18 +49,26 @@ class PrecisionPlan:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             dev: {op: prec.value for op, prec in ops.items()}
             for dev, ops in self.assignments.items()
         }
+        if self.bucket_compression is not None:
+            out[COMPRESSION_KEY] = list(self.bucket_compression)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "PrecisionPlan":
+        compression = data.get(COMPRESSION_KEY)
         return cls(
             assignments={
                 dev: {op: parse_precision(v) for op, v in ops.items()}
                 for dev, ops in data.items()
-            }
+                if dev != COMPRESSION_KEY
+            },
+            bucket_compression=(
+                None if compression is None else tuple(int(v) for v in compression)
+            ),
         )
 
     def summary(self) -> str:

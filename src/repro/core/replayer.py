@@ -35,6 +35,7 @@ from repro.kernel import (
     HAVE_NUMPY,
 )
 from repro.parallel.comm_model import CollectiveModel, resolve_collective_model
+from repro.quant.qsgd import level_bits
 from repro.profiling.casting import CastCostCalculator
 from repro.profiling.memory import MemoryEstimate, MemoryModel
 from repro.profiling.profiler import OperatorCostCatalog
@@ -143,6 +144,11 @@ class Replayer:
         self.schedule_policy = resolve_schedule_policy(schedule_policy)
         self.perturbation = perturbation
         self.dags = dags
+        #: Per-bucket QSGD compression levels (the joint-planning axis), or
+        #: ``None`` for uncompressed.  Set via :meth:`set_bucket_compression`;
+        #: all-zero levels normalize to ``None`` so level 0 takes the exact
+        #: legacy code path on every dispatch tier (the parity contract).
+        self.bucket_compression: tuple[int, ...] | None = None
         self.memory_model = MemoryModel(optimizer_slots=optimizer_slots)
         #: When False every simulate() rebuilds every rank's DFG and memory
         #: estimate from scratch (the pre-caching behaviour) — kept as the
@@ -203,6 +209,34 @@ class Replayer:
     def apply_plan(self, rank: int, plan: dict[str, Precision]) -> None:
         """Install a per-op precision plan on one worker's DAG."""
         self.dags[rank].apply_plan(plan)
+
+    def set_bucket_compression(
+        self, levels: tuple[int, ...] | list[int] | None
+    ) -> None:
+        """Install per-bucket QSGD compression levels (``None`` = off).
+
+        Levels are validated against the :data:`~repro.quant.qsgd.LEVEL_BITS`
+        ladder; an all-zero assignment normalizes to ``None`` so the
+        uncompressed configuration is *indistinguishable* from never having
+        touched the axis — same cache keys, same float operations, same
+        bits on every tier (object, engine, kernel).
+        """
+        if levels is None:
+            self.bucket_compression = None
+            return
+        levels = tuple(int(lvl) for lvl in levels)
+        for lvl in levels:
+            level_bits(lvl)  # raises ValueError on unknown rungs
+        self.bucket_compression = levels if any(levels) else None
+
+    def _bucket_bits(self) -> tuple[int, ...] | None:
+        """Per-bucket wire bit widths of the current compression levels,
+        or ``None`` when uncompressed (the hot-path branch: one attribute
+        read on every simulate)."""
+        levels = self.bucket_compression
+        if levels is None:
+            return None
+        return tuple(level_bits(lvl) for lvl in levels)
 
     def full_rebuilds(self) -> int:
         """Total from-scratch LocalDFG constructions across all mappers."""
@@ -351,14 +385,16 @@ class Replayer:
         if not (self.use_kernel and self.incremental):
             return None
         versions = self._dag_versions() if _versions is None else _versions
+        bits = self._bucket_bits()
         fast = self._kernel_fast
         if (
             fast is not None
             and fast[0] is self.cluster
             and fast[1] is self.collective_model
-            and fast[2] == versions
+            and fast[2] == bits
+            and fast[3] == versions
         ):
-            return fast[3]
+            return fast[4]
         if self._priced_model is not self.collective_model:
             # collective_model was swapped (e.g. topology experiments):
             # every priced duration is stale, so reprice from scratch.
@@ -393,18 +429,24 @@ class Replayer:
             by_type[tname] = cl
             entry = self._kernel_local_cache[tname]
             key_parts.append((tname, entry[0], entry[1]))
-        gkey = tuple(key_parts)
+        # The compression axis rides in every pricing/compilation key: a
+        # level change recompiles the global (durations are baked into the
+        # CompiledGlobal), and level 0 normalizes to None so uncompressed
+        # keys are byte-identical to the pre-compression ones.
+        gkey = (tuple(key_parts), bits)
         cached = self._kernel_global_cache
         if cached is not None and cached[0] == gkey:
             self._kernel_fast = (
-                self.cluster, self.collective_model, versions, cached[1]
+                self.cluster, self.collective_model, bits, versions, cached[1]
             )
             return cached[1]
-        size_key = tuple(by_type[tname].bucket_nbytes for tname in order)
+        size_key = (
+            tuple(by_type[tname].bucket_nbytes for tname in order), bits
+        )
         durs = self._comm_price_cache.get(size_key)
         if durs is None:
             durs = bucket_comm_durations(
-                locals_, self.cluster, self.collective_model
+                locals_, self.cluster, self.collective_model, bits
             )
             self._comm_price_cache[size_key] = durs
         cg = compile_global(
@@ -414,7 +456,9 @@ class Replayer:
         if cg is None:
             return None
         self._kernel_global_cache = (gkey, cg)
-        self._kernel_fast = (self.cluster, self.collective_model, versions, cg)
+        self._kernel_fast = (
+            self.cluster, self.collective_model, bits, versions, cg
+        )
         return cg
 
     def _kernel_result(self, cg, memory) -> SimulationResult:
@@ -518,6 +562,7 @@ class Replayer:
         self.stats.simulate_calls += 1
         versions = None
         memory = None
+        bits = self._bucket_bits()
         hot_cg = _MISS
         if self.use_kernel and self.incremental:
             versions = self._dag_versions()
@@ -526,10 +571,11 @@ class Replayer:
                 hot is not None
                 and hot[0] is self.cluster
                 and hot[1] is self.collective_model
-                and hot[2] == versions
+                and hot[2] == bits
+                and hot[3] == versions
             ):
-                memory = hot[3]
-                hot_cg = hot[4]
+                memory = hot[4]
+                hot_cg = hot[5]
         if memory is None:
             memory = {
                 w.rank: self.memory_estimate(w.rank)
@@ -555,7 +601,7 @@ class Replayer:
                 cg = self.compiled_global(versions)
                 if versions is not None:
                     self._hot_cache = (
-                        self.cluster, self.collective_model,
+                        self.cluster, self.collective_model, bits,
                         versions, memory, cg,
                     )
             if cg is not None:
@@ -569,6 +615,7 @@ class Replayer:
             gdfg, self.cluster, collect_timeline=collect_timeline,
             memory=memory, collective_model=self.collective_model,
             schedule_policy=policy, perturbation=pert,
+            bucket_bits=bits,
         )
 
     def memory_estimate(self, rank: int) -> MemoryEstimate:
@@ -610,6 +657,7 @@ def bucket_comm_durations(
     locals_: list[LocalDFG],
     cluster: Cluster,
     comm_model: CollectiveModel,
+    bucket_bits: tuple[int, ...] | None = None,
 ) -> list[float]:
     """Per-bucket collective durations, priced once per distinct size.
 
@@ -620,6 +668,13 @@ def bucket_comm_durations(
     compiled kernel tier, and the discrete-event engine's COMM events so
     their pricing cannot drift.
 
+    ``bucket_bits`` optionally carries per-bucket gradient bit widths (the
+    compression axis): pricing then routes through
+    :meth:`~repro.parallel.comm_model.CollectiveModel.allreduce_time_bits`
+    keyed on ``(nbytes, bits)``.  ``None`` — the default everywhere — takes
+    the exact historical code path, so uncompressed callers cannot drift
+    by a single float operation.
+
     Two short-circuits, both value-preserving: when every local shares one
     bucket list object (the ``view_for_rank`` common case) the per-bucket
     size set collapses to the reference bucket's own size without scanning
@@ -628,7 +683,12 @@ def bucket_comm_durations(
     """
     ref = locals_[0].buckets
     all_shared = all(ldfg.buckets is ref for ldfg in locals_)
-    price: dict[int, float] = {}
+    if bucket_bits is not None and len(bucket_bits) != len(ref):
+        raise ValueError(
+            f"bucket_bits has {len(bucket_bits)} entries for "
+            f"{len(ref)} buckets"
+        )
+    price: dict = {}
     durations: list[float] = []
     for n in range(len(ref)):
         if all_shared:
@@ -637,10 +697,19 @@ def bucket_comm_durations(
             sizes = {ldfg.buckets[n].nbytes for ldfg in locals_}
         slowest: float | None = None
         for nbytes in sizes:
-            dur = price.get(nbytes)
+            if bucket_bits is None:
+                key = nbytes
+            else:
+                key = (nbytes, bucket_bits[n])
+            dur = price.get(key)
             if dur is None:
-                dur = comm_model.allreduce_time(cluster, nbytes)
-                price[nbytes] = dur
+                if bucket_bits is None:
+                    dur = comm_model.allreduce_time(cluster, nbytes)
+                else:
+                    dur = comm_model.allreduce_time_bits(
+                        cluster, nbytes, bucket_bits[n]
+                    )
+                price[key] = dur
             if slowest is None or dur > slowest:
                 slowest = dur
         durations.append(slowest)
@@ -653,6 +722,7 @@ def simulate_global_dfg(
     collect_timeline: bool = False,
     memory: dict[int, MemoryEstimate] | None = None,
     collective_model: CollectiveModel | str | None = None,
+    bucket_bits: tuple[int, ...] | None = None,
 ) -> SimulationResult:
     """Play a global DFG through Eq. (6) — the analytic closed form.
 
@@ -667,6 +737,10 @@ def simulate_global_dfg(
     engine (:mod:`repro.engine`): under the default
     :class:`~repro.engine.policy.DDPOverlapPolicy` with no perturbation the
     engine must reproduce it bit-for-bit, timeline included.
+
+    ``bucket_bits`` (per-bucket gradient bit widths, the compression axis)
+    is forwarded to :func:`bucket_comm_durations`; ``None`` keeps the
+    uncompressed pricing bit-identical.
     """
     comm_model = resolve_collective_model(collective_model)
     locals_ = gdfg.locals
@@ -683,7 +757,7 @@ def simulate_global_dfg(
 
     # Synchronous collectives: Eq. (6).  Pricing is hoisted out of the
     # recurrence — one call per bucket, not one per (bucket, rank).
-    durations = bucket_comm_durations(locals_, cluster, comm_model)
+    durations = bucket_comm_durations(locals_, cluster, comm_model, bucket_bits)
     comm_end_prev = 0.0
     comm_end_final: float = 0.0
     for n in range(gdfg.n_buckets):

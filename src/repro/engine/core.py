@@ -66,6 +66,7 @@ def execute_global_dfg(
     collective_model=None,
     schedule_policy=None,
     perturbation: Perturbation | None = None,
+    bucket_bits: tuple[int, ...] | None = None,
 ) -> "SimulationResult":
     """Simulate a global DFG, dispatching between the analytic Eq. (6) fast
     path and the discrete-event engine.
@@ -74,6 +75,9 @@ def execute_global_dfg(
     DDP-overlap schedule, no perturbation, no timeline.  Timeline
     collection, alternative schedule policies, and perturbations run
     through :func:`run_engine` (bit-identical on the default policy).
+    ``bucket_bits`` (per-bucket compressed gradient widths) is forwarded
+    to the shared bucket pricing on both branches; ``None`` keeps the
+    uncompressed pricing bit-identical.
     """
     policy = resolve_schedule_policy(schedule_policy)
     if perturbation is not None and perturbation.is_noop:
@@ -86,7 +90,8 @@ def execute_global_dfg(
         from repro.core.replayer import simulate_global_dfg
 
         return simulate_global_dfg(
-            gdfg, cluster, memory=memory, collective_model=collective_model
+            gdfg, cluster, memory=memory, collective_model=collective_model,
+            bucket_bits=bucket_bits,
         )
     return run_engine(
         gdfg,
@@ -96,6 +101,7 @@ def execute_global_dfg(
         collective_model=collective_model,
         schedule_policy=policy,
         perturbation=perturbation,
+        bucket_bits=bucket_bits,
     )
 
 
@@ -107,6 +113,7 @@ def run_engine(
     collective_model=None,
     schedule_policy: SchedulePolicy | str | None = None,
     perturbation: Perturbation | None = None,
+    bucket_bits: tuple[int, ...] | None = None,
 ) -> "SimulationResult":
     """Event-driven simulation of one training iteration."""
     from repro.core.replayer import (
@@ -138,7 +145,7 @@ def run_engine(
 
     # ---- bucket pricing: one call per distinct size, shared with the
     # analytic path; perturbation drift scales per bucket ----------------
-    durations = bucket_comm_durations(locals_, cluster, comm_model)
+    durations = bucket_comm_durations(locals_, cluster, comm_model, bucket_bits)
     if perturbation is not None:
         durations = [
             dur * perturbation.comm_scale(n) for n, dur in enumerate(durations)

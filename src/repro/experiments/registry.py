@@ -8,6 +8,7 @@ from typing import Any, Callable
 from repro.experiments import (
     churn,
     comm,
+    compress,
     fig4,
     fig6,
     fig7,
@@ -35,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "comm": comm.run,
     "straggler": straggler.run,
     "churn": churn.run,
+    "compress": compress.run,
 }
 
 
@@ -207,6 +209,26 @@ SCENARIOS: dict[str, ScenarioAxes] = {
         config=(
             tuple(sorted(comm.GRAPH_KW.items())),
             tuple(sorted(comm.QUICK_GRAPH_KW.items())),
+        ),
+    ),
+    # QSGD compression on the same multi-node preset axis as `comm` (one
+    # cell per preset, the preset name riding in the variant kwargs); the
+    # loss budget and both protocols' graph kwargs are fingerprinted from
+    # the experiment module, so retuning the budget re-keys cached cells.
+    "compress": ScenarioAxes(
+        cluster="multinode:" + "+".join(comm.PRESETS),
+        quick=tuple(
+            Variant(preset, (comm.MODEL_NAME,), (("presets", (preset,)),))
+            for preset in comm.PRESETS
+        ),
+        full=tuple(
+            Variant(preset, (comm.MODEL_NAME,), (("presets", (preset,)),))
+            for preset in comm.PRESETS
+        ),
+        config=(
+            tuple(sorted(comm.GRAPH_KW.items())),
+            tuple(sorted(comm.QUICK_GRAPH_KW.items())),
+            compress.LOSS_BUDGET,
         ),
     ),
 }

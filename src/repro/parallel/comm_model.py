@@ -15,12 +15,21 @@ the algorithm a parameter:
   ``1/m``-sized shards across the slow network;
 * :class:`TreeModel` — binomial reduce + broadcast trees: ``O(log K)``
   latency steps, full-buffer bandwidth per step (wins for small buffers on
-  high-latency links).
+  high-latency links);
+* :class:`CompressedMultiHopModel` — the hierarchical schedule carrying
+  QSGD-compressed gradients (DynamiQ-style): the wire moves
+  :func:`~repro.quant.qsgd.compressed_nbytes` and each of the three phase
+  boundaries pays one codec pass.  Uncompressed (level 0 / ``bits=None``)
+  it prices **exactly** like :class:`HierarchicalModel` — the parity rung.
 
-All models are pure functions of ``(cluster topology, nbytes)`` — they
-plug into :func:`repro.core.replayer.simulate_global_dfg`, the Replayer,
-and the DBS comm terms via ``collective_model=`` parameters, and are
-selectable by name through :func:`resolve_collective_model`.
+All models are pure functions of ``(cluster topology, nbytes[, bits])`` —
+they plug into :func:`repro.core.replayer.simulate_global_dfg`, the
+Replayer, and the DBS comm terms via ``collective_model=`` parameters, and
+are selectable by name through :func:`resolve_collective_model`.
+:meth:`CollectiveModel.allreduce_time_bits` is the compression-aware entry
+point: ``bits=None`` (or >= 32) delegates to the plain
+:meth:`~CollectiveModel.allreduce_time` with no intermediate arithmetic,
+so uncompressed pricing stays bit-identical on every model.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ from __future__ import annotations
 import abc
 import math
 from typing import TYPE_CHECKING, Union
+
+from repro.quant.qsgd import codec_seconds, compressed_nbytes
 
 if TYPE_CHECKING:
     from repro.hardware.cluster import Cluster
@@ -42,6 +53,25 @@ class CollectiveModel(abc.ABC):
     @abc.abstractmethod
     def allreduce_time(self, cluster: "Cluster", nbytes: float) -> float:
         """Seconds to all-reduce one buffer of ``nbytes`` across all ranks."""
+
+    def allreduce_time_bits(
+        self, cluster: "Cluster", nbytes: int, bits: int | None = None
+    ) -> float:
+        """Compression-aware pricing of one all-reduce.
+
+        ``bits=None`` or >= 32 returns :meth:`allreduce_time` *verbatim* —
+        the level-0 parity contract (no float op may differ from the
+        uncompressed path).  Below 32 the generic model moves the packed
+        payload and pays one encode plus one decode pass; schedules that
+        re-quantize per hop override this (see
+        :class:`CompressedMultiHopModel`).
+        """
+        if bits is None or bits >= 32:
+            return self.allreduce_time(cluster, nbytes)
+        wire = compressed_nbytes(nbytes, bits)
+        return self.allreduce_time(cluster, wire) + 2.0 * codec_seconds(
+            nbytes, bits
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -60,6 +90,35 @@ class FlatRingModel(CollectiveModel):
 
     def allreduce_time(self, cluster: "Cluster", nbytes: float) -> float:
         return cluster.allreduce_time(nbytes)
+
+
+def _hierarchical_time(cluster: "Cluster", nbytes: float) -> float:
+    """The three-phase hierarchical schedule's arithmetic, shared verbatim
+    by :class:`HierarchicalModel` and :class:`CompressedMultiHopModel` so
+    the two cannot drift by a single float operation (the compressed
+    model's level-0 rung must price exactly like hierarchical)."""
+    if cluster.size <= 1:
+        return 0.0
+    topo = cluster.topology
+    nodes = topo.nodes
+    p = len(nodes)
+
+    intra_phase = 0.0
+    for node in nodes:
+        m = node.size
+        if m <= 1:
+            continue
+        link = node.intra_link
+        t = (m - 1) / m * nbytes / link.bandwidth + (m - 1) * link.latency
+        intra_phase = max(intra_phase, t)
+    total = 2.0 * intra_phase  # reduce-scatter + all-gather
+
+    if p > 1:
+        shard = nbytes / min(node.size for node in nodes)
+        bw = topo.min_uplink_bandwidth()
+        lat = topo.max_uplink_latency()
+        total += 2.0 * (p - 1) / p * shard / bw + 2.0 * (p - 1) * lat
+    return total
 
 
 class HierarchicalModel(CollectiveModel):
@@ -84,28 +143,7 @@ class HierarchicalModel(CollectiveModel):
     name = "hierarchical"
 
     def allreduce_time(self, cluster: "Cluster", nbytes: float) -> float:
-        if cluster.size <= 1:
-            return 0.0
-        topo = cluster.topology
-        nodes = topo.nodes
-        p = len(nodes)
-
-        intra_phase = 0.0
-        for node in nodes:
-            m = node.size
-            if m <= 1:
-                continue
-            link = node.intra_link
-            t = (m - 1) / m * nbytes / link.bandwidth + (m - 1) * link.latency
-            intra_phase = max(intra_phase, t)
-        total = 2.0 * intra_phase  # reduce-scatter + all-gather
-
-        if p > 1:
-            shard = nbytes / min(node.size for node in nodes)
-            bw = topo.min_uplink_bandwidth()
-            lat = topo.max_uplink_latency()
-            total += 2.0 * (p - 1) / p * shard / bw + 2.0 * (p - 1) * lat
-        return total
+        return _hierarchical_time(cluster, nbytes)
 
 
 class TreeModel(CollectiveModel):
@@ -130,11 +168,49 @@ class TreeModel(CollectiveModel):
         return 2.0 * rounds * step
 
 
+class CompressedMultiHopModel(CollectiveModel):
+    """Hierarchical all-reduce over QSGD-compressed gradients (DynamiQ).
+
+    The three-phase hierarchical schedule with the buffer packed to
+    ``bits`` per element on every hop: the wire moves
+    :func:`~repro.quant.qsgd.compressed_nbytes` and each of the three
+    phase boundaries (quantize before the intra reduce-scatter,
+    re-quantize the reduced shards before the inter ring, re-quantize
+    before the intra all-gather) pays one
+    :func:`~repro.quant.qsgd.codec_seconds` pass over the uncompressed
+    payload.  Uncompressed (``bits=None`` / >= 32) it reuses
+    ``_hierarchical_time`` verbatim — bit-identical to
+    :class:`HierarchicalModel`, the level-0 parity rung.
+    """
+
+    name = "compressed_multihop"
+
+    #: Compressed hop boundaries of the three-phase schedule, each paying
+    #: one re-quantization pass.
+    HOPS = 3
+
+    def allreduce_time(self, cluster: "Cluster", nbytes: float) -> float:
+        return _hierarchical_time(cluster, nbytes)
+
+    def allreduce_time_bits(
+        self, cluster: "Cluster", nbytes: int, bits: int | None = None
+    ) -> float:
+        if bits is None or bits >= 32:
+            return self.allreduce_time(cluster, nbytes)
+        wire = compressed_nbytes(nbytes, bits)
+        return _hierarchical_time(cluster, wire) + self.HOPS * codec_seconds(
+            nbytes, bits
+        )
+
+
 #: Name -> model class, the selection vocabulary for CLIs/benchmarks/sweeps.
+#: Append-only (RPR005): names feed request fingerprints and persisted
+#: artifacts, so entries may be added at the end but never re-keyed.
 COLLECTIVE_MODELS: dict[str, type[CollectiveModel]] = {
     FlatRingModel.name: FlatRingModel,
     HierarchicalModel.name: HierarchicalModel,
     TreeModel.name: TreeModel,
+    CompressedMultiHopModel.name: CompressedMultiHopModel,
 }
 
 
@@ -149,9 +225,10 @@ def resolve_collective_model(
         return model
     if isinstance(model, str):
         if model not in COLLECTIVE_MODELS:
-            raise KeyError(
+            raise ValueError(
                 f"unknown collective model {model!r}; available: "
-                f"{sorted(COLLECTIVE_MODELS)}"
+                f"{sorted(COLLECTIVE_MODELS)}; a custom model must be "
+                f"passed as a CollectiveModel instance, not a name"
             )
         return COLLECTIVE_MODELS[model]()
     raise TypeError(

@@ -10,21 +10,39 @@ Implements the arithmetic QSync's theory is built on:
   clamping + mantissa truncation with SR (Proposition 2 / Appendix A-2).
 * :mod:`repro.quant.variance` — the closed-form quantization variances of
   Proposition 2 and effective-bit estimation.
+* :mod:`repro.quant.qsgd` — QSGD gradient compression: the unbiased
+  bucket quantizer plus the planning-side wire/codec/variance models of
+  the joint precision + compression axis.
 """
 
-from repro.quant.fixed_point import (
-    FixedPointQuantizer,
-    Granularity,
-    QuantizedTensor,
+from repro.quant.qsgd import (
+    COMPRESSION_LEVELS,
+    CompressionConfig,
+    codec_seconds,
+    compressed_nbytes,
+    level_bits,
+    qsgd_dequantize,
+    qsgd_quantize,
+    qsgd_variance_factor,
 )
-from repro.quant.floating_point import FloatingPointQuantizer, simulate_cast
-from repro.quant.stochastic import floor_round, nearest_round, stochastic_round
-from repro.quant.variance import (
-    effective_exponent,
-    fixed_point_variance,
-    floating_point_variance,
-    quantization_mse,
-)
+
+try:  # tensor-codec modules need numpy (the optional "kernel" extra);
+    # the planning-side qsgd API above must stay importable without it.
+    from repro.quant.fixed_point import (
+        FixedPointQuantizer,
+        Granularity,
+        QuantizedTensor,
+    )
+    from repro.quant.floating_point import FloatingPointQuantizer, simulate_cast
+    from repro.quant.stochastic import floor_round, nearest_round, stochastic_round
+    from repro.quant.variance import (
+        effective_exponent,
+        fixed_point_variance,
+        floating_point_variance,
+        quantization_mse,
+    )
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    pass
 
 __all__ = [
     "stochastic_round",
@@ -39,4 +57,12 @@ __all__ = [
     "floating_point_variance",
     "effective_exponent",
     "quantization_mse",
+    "COMPRESSION_LEVELS",
+    "CompressionConfig",
+    "codec_seconds",
+    "compressed_nbytes",
+    "level_bits",
+    "qsgd_quantize",
+    "qsgd_dequantize",
+    "qsgd_variance_factor",
 ]

@@ -31,6 +31,9 @@ def fixed_point_variance(scale: np.ndarray | float, dims: int) -> float:
         is an array).
     """
     scale = np.asarray(scale, dtype=np.float64)
+    if scale.size == 0:
+        # No quantizer channels: nothing is cast, nothing adds variance.
+        return 0.0
     if scale.size == 1:
         return float(scale.reshape(-1)[0] ** 2 * dims / 6.0)
     # Channel-wise: dims elements spread evenly across channels.
@@ -68,9 +71,17 @@ def quantization_mse(original: np.ndarray, quantized: np.ndarray) -> float:
     Used by the HAWQ-style Hessian baseline ("... times the introduced error
     of the quantization", Sec. VII-A1).
     """
-    diff = np.asarray(original, dtype=np.float64) - np.asarray(
-        quantized, dtype=np.float64
-    )
+    original = np.asarray(original, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    if original.shape != quantized.shape:
+        raise ValueError(
+            f"shape mismatch: original {original.shape} vs quantized "
+            f"{quantized.shape}"
+        )
+    if original.size == 0:
+        # Empty tensors quantize losslessly; np.mean would warn and NaN.
+        return 0.0
+    diff = original - quantized
     return float(np.mean(diff**2))
 
 

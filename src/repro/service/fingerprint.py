@@ -104,6 +104,14 @@ def request_token(request: "PlanRequest") -> tuple:
     config = (
         None if request.config is None else dataclasses.asdict(request.config)
     )
+    compression = (
+        None
+        if request.compression is None
+        else (
+            tuple(int(lvl) for lvl in request.compression.levels),
+            float(request.compression.loss_budget),
+        )
+    )
     return (
         "plan_request",
         request.model,
@@ -123,6 +131,7 @@ def request_token(request: "PlanRequest") -> tuple:
         backends,
         request.stats,
         request.use_kernel,
+        compression,
     )
 
 

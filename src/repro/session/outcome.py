@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.allocator import AllocationReport, precision_counts
+from repro.core.compression import CompressionReport
 from repro.core.plan import PrecisionPlan
 from repro.core.qsync import QSyncReport
 from repro.core.replayer import SimulationResult
@@ -31,6 +32,9 @@ class PlanOutcome:
     #: Operator-facing report; allocator strategies carry real recovery
     #: diagnostics, passive strategies a zero-recovery snapshot.
     report: QSyncReport
+    #: Gradient-compression diagnostics — only the compression-aware
+    #: strategies (``qsync+qsgd``) populate this; ``None`` elsewhere.
+    compression: CompressionReport | None = None
 
     def summary(self) -> str:
         return f"[{self.strategy}] {self.report.summary()}"

@@ -23,6 +23,12 @@ Strategies
     (Gauss–Newton curvature proxy at graph scale).
 ``random``
     The allocator driven by the random indicator of Sec. VII-A1.
+``qsync+qsgd``
+    The joint precision + gradient-compression planner: the ``qsync``
+    allocation followed by a budgeted greedy ascent over per-bucket QSGD
+    compression levels (:mod:`repro.core.compression`), trading all-reduce
+    time against the Indicator's gradient-sync variance term.  With the
+    ladder pinned to ``(0,)`` it is bit-identical to ``qsync``.
 """
 
 from __future__ import annotations
@@ -35,9 +41,11 @@ from repro.baselines.random_ind import RandomIndicator
 from repro.baselines.uniform import uniform_precision_plan
 from repro.common.dtypes import Precision
 from repro.core.allocator import Allocator
+from repro.core.compression import allocate_compression
 from repro.core.indicator import VarianceIndicator
 from repro.core.plan import PrecisionPlan
 from repro.core.qsync import QSyncReport
+from repro.quant.qsgd import CompressionConfig, level_bits
 from repro.session.outcome import PlanOutcome, passive_allocation_report
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -144,22 +152,27 @@ class AllocatorPlanner:
                 f"indicator override instead"
             )
 
-    def plan(self, ctx: "PlanContext") -> PlanOutcome:
+    def _build_indicators(self, ctx: "PlanContext") -> dict:
+        """One indicator per participating device type (shared with the
+        compression-aware subclass so both see identical instances)."""
         request = ctx.request
-        cluster = ctx.cluster
         replayer = ctx.replayer
         choice = self.indicator_override or request.indicator
-
         amp_mode = request.config is not None and request.config.amp_mode
         indicator_workers = (
-            cluster.workers if amp_mode else cluster.inference_workers
+            ctx.cluster.workers if amp_mode else ctx.cluster.inference_workers
         )
         indicators = {}
         for w in indicator_workers:
             if w.device.name not in indicators:
                 dag = replayer.dags[w.rank]
                 indicators[w.device.name] = _make_indicator(ctx, dag, choice)
+        return indicators
 
+    def plan(self, ctx: "PlanContext") -> PlanOutcome:
+        request = ctx.request
+        replayer = ctx.replayer
+        indicators = self._build_indicators(ctx)
         allocator = Allocator(replayer, indicators, config=request.config)
         plan, alloc_report = allocator.allocate()
         final = replayer.simulate(collect_timeline=True)
@@ -168,6 +181,73 @@ class AllocatorPlanner:
             plan=plan,
             simulation=final,
             report=_report(ctx, alloc_report, final),
+        )
+
+
+class CompressedAllocatorPlanner(AllocatorPlanner):
+    """``qsync`` allocation + per-bucket QSGD compression (the joint axis).
+
+    Runs the exact precision allocation of :class:`AllocatorPlanner`, then
+    climbs the compression ladder bucket-by-bucket under a variance budget
+    of ``loss_budget`` times the precision plan's own indicator loss
+    (:func:`repro.core.compression.allocate_compression`), installs the
+    chosen levels on the replayer, and re-simulates.  When every bucket
+    stays at level 0 — an empty budget, a ``(0,)`` ladder, or no move that
+    saves time — the outcome's plan dict and simulation are bit-identical
+    to the plain ``qsync`` strategy on every dispatch tier.
+    """
+
+    def plan(self, ctx: "PlanContext") -> PlanOutcome:
+        request = ctx.request
+        replayer = ctx.replayer
+        indicators = self._build_indicators(ctx)
+        allocator = Allocator(replayer, indicators, config=request.config)
+        plan, alloc_report = allocator.allocate()
+
+        cconf = request.compression or CompressionConfig()
+        # Budget: the compression axis may add at most `loss_budget` of the
+        # indicator loss the precision plan already pays.  An all-FP32 plan
+        # (base loss 0) yields budget 0 — conservatively uncompressed.
+        base_loss = 0.0
+        for tname, ops in plan.assignments.items():
+            indicator = indicators.get(tname)
+            if indicator is None:
+                continue
+            for op, prec in ops.items():
+                base_loss += indicator.omega(op, prec)
+        budget = cconf.loss_budget * base_loss
+
+        # The gradient-sync variance term always comes from the variance
+        # indicator (Proposition 2's machinery): baseline indicators rank
+        # ops but do not model gradient-quantization variance.
+        ref_rank = min(replayer.dags)
+        sync_indicator = VarianceIndicator(
+            replayer.dags[ref_rank], dict(ctx.stats), ctx.gamma
+        )
+        buckets = replayer.local_dfg(ref_rank).buckets
+        bucket_variances = [
+            {
+                lvl: sum(
+                    sync_indicator.gradient_sync_variance(op, level_bits(lvl))
+                    for op in bucket.ops
+                )
+                for lvl in cconf.levels
+            }
+            for bucket in buckets
+        ]
+        levels, creport = allocate_compression(
+            replayer, bucket_variances, budget, levels=cconf.levels
+        )
+        replayer.set_bucket_compression(levels)
+        plan.bucket_compression = replayer.bucket_compression
+
+        final = replayer.simulate(collect_timeline=True)
+        return PlanOutcome(
+            strategy=self.name,
+            plan=plan,
+            simulation=final,
+            report=_report(ctx, alloc_report, final),
+            compression=creport,
         )
 
 
@@ -238,3 +318,4 @@ register_planner(UniformPlanner())
 register_planner(DproPlanner())
 register_planner(AllocatorPlanner("hessian", indicator_override="hessian"))
 register_planner(AllocatorPlanner("random", indicator_override="random"))
+register_planner(CompressedAllocatorPlanner("qsync+qsgd"))

@@ -27,6 +27,7 @@ from repro.graph.dag import PrecisionDAG
 from repro.hardware.cluster import CLUSTER_PRESETS, Cluster, get_cluster_preset
 from repro.parallel.comm_model import COLLECTIVE_MODELS, CollectiveModel
 from repro.profiling.stats import OperatorStats
+from repro.quant.qsgd import CompressionConfig
 
 #: Indicator names the allocator-backed strategies understand.  ``None``
 #: (the default) means the strategy's own choice — QSync's variance
@@ -104,6 +105,11 @@ class PlanRequest:
         evaluations.  ``None`` (default) enables it whenever numpy is
         importable; ``False`` forces the analytic object path (bit-identical
         results either way — the kernel is an equality-preserving cache).
+    compression:
+        Gradient-compression knobs (:class:`repro.quant.qsgd.
+        CompressionConfig`) consumed by the compression-aware strategies
+        (``qsync+qsgd``); ``None`` means their defaults.  Other strategies
+        ignore it (gradients sync uncompressed there).
     """
 
     model: Union[str, Callable[[], PrecisionDAG], PrecisionDAG]
@@ -123,6 +129,7 @@ class PlanRequest:
     backends: Mapping[int, LPBackend] | None = None
     stats: Mapping[str, OperatorStats] | None = None
     use_kernel: bool | None = None
+    compression: CompressionConfig | None = None
 
     def __post_init__(self) -> None:
         # Every cheap knob is validated here, at construction — before a
@@ -162,6 +169,13 @@ class PlanRequest:
             raise ValueError(
                 f"unknown indicator {self.indicator!r}; available: "
                 f"{', '.join(INDICATOR_NAMES)} (or a (dag, stats, gamma) factory)"
+            )
+        if self.compression is not None and not isinstance(
+            self.compression, CompressionConfig
+        ):
+            raise ValueError(
+                f"compression must be a repro.quant.qsgd.CompressionConfig "
+                f"or None, got {type(self.compression).__name__}"
             )
         if isinstance(self.cluster, str) and self.cluster not in CLUSTER_PRESETS:
             raise ValueError(

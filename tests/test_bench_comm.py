@@ -32,7 +32,12 @@ def test_bench_smoke(tmp_path):
         assert hier < flat, preset
         assert entry["hierarchical_vs_flat_allreduce_speedup"] > 1.0
         # Every registered model was priced end-to-end.
-        assert set(entry["models"]) == {"flat", "hierarchical", "tree"}
+        assert set(entry["models"]) == {
+            "flat",
+            "hierarchical",
+            "tree",
+            "compressed_multihop",
+        }
         for stats in entry["models"].values():
             assert stats["iteration_seconds"] > 0
 

@@ -34,7 +34,7 @@ def test_bench_smoke(tmp_path):
     # for CI noise, and the counters above pin the mechanism).
     assert payload["speedup_second_call"] >= 3.0
 
-    # All five strategies flowed through the warm compare call.
+    # Every registered strategy flowed through the warm compare call.
     assert set(payload["compare"]["iteration_ms"]) == {
-        "qsync", "uniform", "dpro", "hessian", "random",
+        "qsync", "uniform", "dpro", "hessian", "random", "qsync+qsgd",
     }

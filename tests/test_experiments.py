@@ -68,10 +68,11 @@ class TestBase:
 class TestRegistry:
     def test_all_artifacts_registered(self):
         # The paper's ten tables/figures plus the repo's own comm,
-        # straggler, and churn studies.
+        # straggler, churn, and compress studies.
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "fig4", "fig6", "fig7", "fig8", "comm", "straggler", "churn",
+            "compress",
         }
 
     def test_get_unknown_raises(self):
@@ -177,4 +178,4 @@ class TestRunnerCLI:
 
     def test_cli_all_would_cover_registry(self):
         # Don't run 'all' (slow); check the id expansion logic via registry.
-        assert len(EXPERIMENTS) == 13
+        assert len(EXPERIMENTS) == 14

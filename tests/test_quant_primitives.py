@@ -1,0 +1,174 @@
+"""Property tests for the quantization primitives under the planner.
+
+Pins the two contracts everything upstream leans on: **unbiasedness** of
+stochastic rounding (Proposition 1's requirement, checked Monte-Carlo
+against the exact Bernoulli mean) and the **edge-case totality** of the
+Proposition-2 variance formulas (empty tensors, zero dims, degenerate
+scales must yield finite zeros, never NaN), plus the same properties for
+the QSGD gradient codec built on top of them.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.quant.qsgd import (
+    COMPRESSION_LEVELS,
+    LEVEL_BITS,
+    CompressionConfig,
+    codec_seconds,
+    compressed_nbytes,
+    level_bits,
+    qsgd_dequantize,
+    qsgd_quantize,
+    qsgd_variance_factor,
+)
+from repro.quant.stochastic import stochastic_round
+from repro.quant.variance import (
+    effective_exponent,
+    fixed_point_variance,
+    quantization_mse,
+)
+
+
+class TestStochasticRound:
+    def test_unbiased_mean(self):
+        # E[SR(x)] = x exactly; the Monte-Carlo mean of n draws has std
+        # sqrt(p(1-p)/n) <= 0.5/sqrt(n), so 5 sigma at n=40000 is < 0.013.
+        rng = np.random.default_rng(7)
+        for x in (0.25, 1.5, 3.9, -0.3, -2.75):
+            draws = stochastic_round(np.full(40_000, x), rng)
+            assert abs(float(draws.mean()) - x) < 0.013, x
+
+    def test_integers_are_fixed_points(self):
+        rng = np.random.default_rng(0)
+        grid = np.array([-3.0, -1.0, 0.0, 2.0, 17.0])
+        assert np.array_equal(stochastic_round(grid, rng), grid)
+
+    def test_rounds_to_adjacent_integers_only(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(-5.0, 5.0, 10_001)
+        out = stochastic_round(x, rng)
+        assert np.all((out == np.floor(x)) | (out == np.floor(x) + 1))
+
+    def test_empty_input(self):
+        rng = np.random.default_rng(2)
+        assert stochastic_round(np.array([]), rng).shape == (0,)
+
+
+class TestVarianceEdgeCases:
+    def test_fixed_point_variance_scalar(self):
+        assert fixed_point_variance(0.5, 12) == pytest.approx(0.25 * 12 / 6)
+
+    def test_fixed_point_variance_channelwise(self):
+        # dims spread evenly: 8 elements over 2 channels -> 4 per channel.
+        scales = np.array([0.5, 1.0])
+        expected = (0.25 + 1.0) * 4 / 6
+        assert fixed_point_variance(scales, 8) == pytest.approx(expected)
+
+    def test_fixed_point_variance_zero_dims(self):
+        assert fixed_point_variance(0.5, 0) == 0.0
+
+    def test_fixed_point_variance_empty_scale(self):
+        # No quantizer channels: finite zero, not a NaN from 0-size mean.
+        assert fixed_point_variance(np.array([]), 16) == 0.0
+
+    def test_quantization_mse_known_value(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.5, 2.5])
+        assert quantization_mse(a, b) == pytest.approx(0.5 / 3)
+
+    def test_quantization_mse_empty(self):
+        assert quantization_mse(np.array([]), np.array([])) == 0.0
+
+    def test_quantization_mse_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            quantization_mse(np.zeros(3), np.zeros(4))
+
+    def test_effective_exponent_empty_and_zero(self):
+        assert effective_exponent(np.array([])) == -126.0
+        assert effective_exponent(np.zeros(5)) == -126.0
+
+
+class TestQsgdCodec:
+    def test_quantize_unbiased(self):
+        # E[dequantize(quantize(g))] = g: average many independent casts.
+        rng = np.random.default_rng(3)
+        g = rng.normal(size=64)
+        acc = np.zeros_like(g)
+        n = 400
+        for seed in range(n):
+            levels, signs, norm = qsgd_quantize(g, 4, seed, "t")
+            acc += qsgd_dequantize(levels, signs, norm, 4)
+        # Per-element MC std is <= norm/(s*2*sqrt(n)); 5 sigma bound.
+        tol = 5 * float(np.max(np.abs(g))) / (15 * 2 * np.sqrt(n))
+        assert np.all(np.abs(acc / n - g) < tol)
+
+    def test_quantize_deterministic_per_seed(self):
+        g = np.linspace(-1.0, 1.0, 33)
+        a = qsgd_quantize(g, 8, 7, "bucket", 0)
+        b = qsgd_quantize(g, 8, 7, "bucket", 0)
+        c = qsgd_quantize(g, 8, 7, "bucket", 1)
+        assert np.array_equal(a[0], b[0]) and a[2] == b[2]
+        assert not np.array_equal(a[0], c[0])
+
+    def test_zero_tensor(self):
+        levels, signs, norm = qsgd_quantize(np.zeros(5), 2, 0)
+        assert norm == 0.0 and not levels.any()
+        assert not qsgd_dequantize(levels, signs, norm, 2).any()
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            qsgd_quantize(np.ones(2), 32, 0)
+        with pytest.raises(ValueError):
+            qsgd_dequantize(np.ones(2), np.ones(2), 1.0, 0)
+
+
+class TestPlanningSideModels:
+    def test_level_bits_ladder(self):
+        assert [level_bits(lvl) for lvl in COMPRESSION_LEVELS] == [32, 8, 4, 2]
+        with pytest.raises(ValueError, match="unknown compression level"):
+            level_bits(9)
+
+    def test_compressed_nbytes_parity_and_packing(self):
+        assert compressed_nbytes(1000, None) == 1000
+        assert compressed_nbytes(1000, 32) == 1000
+        # 250 elements at 8 bits = 250 payload bytes + 8 header.
+        assert compressed_nbytes(1000, 8) == 258
+        # 4x fewer payload bits at 2 bits, integer-ceiling packed.
+        assert compressed_nbytes(1000, 2) == (250 * 2 + 7) // 8 + 8
+        with pytest.raises(ValueError):
+            compressed_nbytes(1000, 0)
+
+    def test_codec_and_variance_vanish_uncompressed(self):
+        assert codec_seconds(10**9, None) == 0.0
+        assert codec_seconds(10**9, 32) == 0.0
+        assert codec_seconds(10**9, 8) > 0.0
+        assert qsgd_variance_factor(None) == 0.0
+        assert qsgd_variance_factor(32) == 0.0
+        # 64/(6 s^2): monotone decreasing in bits.
+        assert qsgd_variance_factor(2) > qsgd_variance_factor(4) > (
+            qsgd_variance_factor(8)
+        ) > 0.0
+        s = float(2**8 - 1)
+        assert qsgd_variance_factor(8) == pytest.approx(64.0 / (6.0 * s * s))
+
+    def test_compression_config_validation(self):
+        assert CompressionConfig().levels == COMPRESSION_LEVELS
+        CompressionConfig(levels=(0,))  # the parity pin is always legal
+        with pytest.raises(ValueError, match="non-empty"):
+            CompressionConfig(levels=())
+        with pytest.raises(ValueError, match="start at level 0"):
+            CompressionConfig(levels=(1, 2))
+        with pytest.raises(ValueError, match="ascending"):
+            CompressionConfig(levels=(0, 2, 1))
+        with pytest.raises(ValueError, match="unknown compression level"):
+            CompressionConfig(levels=(0, 9))
+        with pytest.raises(ValueError, match="loss_budget"):
+            CompressionConfig(loss_budget=-0.5)
+
+    def test_ladder_registry_shape(self):
+        # Append-only vocabulary: every ladder rung has a bit width and the
+        # rungs strictly shrink on the wire.
+        widths = [LEVEL_BITS[lvl] for lvl in COMPRESSION_LEVELS]
+        assert widths == sorted(widths, reverse=True)

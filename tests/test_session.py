@@ -17,7 +17,7 @@ from repro.session import (
     get_planner,
 )
 
-ALL_STRATEGIES = ("qsync", "uniform", "dpro", "hessian", "random")
+ALL_STRATEGIES = ("qsync", "uniform", "dpro", "hessian", "random", "qsync+qsgd")
 
 
 def tiny_request(**overrides):

@@ -168,7 +168,7 @@ class TestCollectiveModels:
         assert isinstance(resolve_collective_model("tree"), TreeModel)
         model = HierarchicalModel()
         assert resolve_collective_model(model) is model
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="CollectiveModel instance"):
             resolve_collective_model("butterfly")
         with pytest.raises(TypeError):
             resolve_collective_model(42)
